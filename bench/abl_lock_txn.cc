@@ -1,0 +1,92 @@
+/// Ablation C: lock-manager request pool + oldest-transaction cache
+/// (real engine).
+///
+/// (1) Lock/unlock throughput through the mutex-freelist vs lock-free
+/// request pool (§7.5); (2) OldestActiveTxn cost with the cached id vs
+/// the list scan (§7.3), with many concurrent transactions alive.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "log/log_storage.h"
+#include "txn/txn_manager.h"
+
+using namespace shoremt;
+
+namespace {
+
+void RunPoolVariant(lock::RequestPoolKind kind, int threads) {
+  lock::LockOptions opts;
+  opts.pool_kind = kind;
+  lock::LockManager mgr(opts);
+  const int kOpsPerThread = bench::FullMode() ? 200'000 : 50'000;
+
+  uint64_t t0 = NowNanos();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnId txn = t + 1;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        lock::LockId id = lock::LockId::Record(
+            1, RecordId{static_cast<PageNum>(t * 1000 + i % 64 + 1), 0});
+        (void)mgr.Lock(txn, id, lock::LockMode::kS);
+        (void)mgr.Unlock(txn, id);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t ns = NowNanos() - t0;
+  std::printf("%-16s threads=%d  lock+unlock pairs/s=%11.0f\n",
+              kind == lock::RequestPoolKind::kMutexFreelist ? "mutex-freelist"
+                                                            : "lock-free",
+              threads,
+              static_cast<double>(threads) * kOpsPerThread * 1e9 / ns);
+}
+
+void RunOldestVariant(bool cached) {
+  log::LogStorage storage;
+  log::LogManager log(&storage, log::LogOptions{});
+  lock::LockManager locks(lock::LockOptions{});
+  txn::TxnOptions opts;
+  opts.oldest_txn_cache = cached;
+  txn::TxnManager txns(&log, &locks, opts);
+
+  // A population of live transactions (the list the scan walks).
+  std::vector<txn::Transaction*> live;
+  for (int i = 0; i < 512; ++i) live.push_back(txns.Begin());
+
+  const int kQueries = bench::FullMode() ? 5'000'000 : 1'000'000;
+  uint64_t t0 = NowNanos();
+  volatile TxnId sink = 0;
+  for (int i = 0; i < kQueries; ++i) sink = txns.OldestActiveTxn();
+  uint64_t ns = NowNanos() - t0;
+  (void)sink;
+  std::printf("oldest-txn %-9s  %6.1f ns/query  (512 live txns)\n",
+              cached ? "cache" : "list-scan",
+              static_cast<double>(ns) / kQueries);
+  for (auto* t : live) (void)txns.Commit(t);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation C: lock request pool + oldest-txn cache "
+              "(real engine) ===\n\n");
+  for (auto kind : {lock::RequestPoolKind::kMutexFreelist,
+                    lock::RequestPoolKind::kLockFreeStack}) {
+    RunPoolVariant(kind, 1);
+    RunPoolVariant(kind, 4);
+  }
+  std::printf("\n");
+  RunOldestVariant(/*cached=*/false);
+  RunOldestVariant(/*cached=*/true);
+  std::printf("\nexpected: the lock-free pool wins under concurrency; the "
+              "cached oldest-txn id\nturns a mutex-protected list scan "
+              "into one atomic load (§7.3).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// Ablation B: log buffer implementations (real engine).
+///
+/// Direct append throughput through the three §7.4 log buffer designs
+/// (mutex / decoupled / consolidated), 1 and 4 producer threads, plus the
+/// group-commit effect: device flush calls per committed transaction.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "log/log_manager.h"
+#include "log/log_storage.h"
+
+using namespace shoremt;
+using namespace shoremt::log;
+
+namespace {
+
+const char* KindName(LogBufferKind k) {
+  switch (k) {
+    case LogBufferKind::kMutex: return "mutex";
+    case LogBufferKind::kDecoupled: return "decoupled";
+    case LogBufferKind::kConsolidated: return "consolidated";
+  }
+  return "?";
+}
+
+void RunVariant(LogBufferKind kind, int threads) {
+  // 100us device latency per flush call: the regime where group commit
+  // pays (the paper's log lived on an in-memory filesystem, but commits
+  // still serialized on flush completion).
+  LogStorage storage(/*append_latency_ns=*/100'000);
+  LogOptions opts;
+  opts.buffer_kind = kind;
+  LogManager mgr(&storage, opts);
+
+  const int kAppendsPerThread = bench::FullMode() ? 200'000 : 40'000;
+  LogRecord rec;
+  rec.type = LogRecordType::kPageInsert;
+  rec.txn = 1;
+  rec.page = 1;
+  rec.after.assign(80, 0xcd);
+
+  uint64_t t0 = NowNanos();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        auto a = mgr.Append(rec);
+        if (!a.ok()) return;
+        // Commit every 100 records: flush barrier (group commit target).
+        if (i % 100 == 99) (void)mgr.FlushTo(a->end);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t ns = NowNanos() - t0;
+  double appends_per_sec =
+      static_cast<double>(threads) * kAppendsPerThread * 1e9 / ns;
+  uint64_t commits = static_cast<uint64_t>(threads) * kAppendsPerThread / 100;
+  std::printf("%-14s threads=%d  appends/s=%11.0f  ns/append=%6.0f  "
+              "device-flushes/commit=%.2f\n",
+              KindName(kind), threads, appends_per_sec,
+              static_cast<double>(ns) * threads /
+                  (static_cast<double>(threads) * kAppendsPerThread),
+              static_cast<double>(storage.flush_calls()) / commits);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation B: log buffer designs (real engine, this "
+              "machine) ===\n\n");
+  std::printf("note: on a single-hardware-context host the consolidated "
+              "buffer's ordered\ncompletion hand-off degrades when a "
+              "predecessor is preempted mid-copy; its\nscalability story "
+              "is the simulated-Niagara Figure 7 (log -> final stages).\n\n");
+  for (auto kind : {LogBufferKind::kMutex, LogBufferKind::kDecoupled,
+                    LogBufferKind::kConsolidated}) {
+    RunVariant(kind, 1);
+    RunVariant(kind, 4);
+  }
+  std::printf("\nexpected: the consolidated buffer has the shortest insert "
+              "critical section\n(§6.2.4) and the decoupled/consolidated "
+              "designs amortize device flushes across\nconcurrent "
+              "committers (group commit).\n");
+  return 0;
+}

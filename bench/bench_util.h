@@ -1,0 +1,71 @@
+#ifndef SHOREMT_BENCH_BENCH_UTIL_H_
+#define SHOREMT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.h"
+#include "workload/engine_profiles.h"
+
+namespace shoremt::bench {
+
+/// SHOREMT_FULL=1 switches to full-resolution sweeps / longer windows.
+inline bool FullMode() {
+  const char* v = std::getenv("SHOREMT_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Client counts along the x-axis (the paper sweeps 1..32).
+inline std::vector<int> ThreadSweep() {
+  if (FullMode()) return {1, 2, 4, 8, 12, 16, 20, 24, 28, 32};
+  return {1, 2, 4, 8, 16, 24, 32};
+}
+
+/// Simulated measurement window (virtual nanoseconds).
+inline uint64_t SimWindowNs() { return FullMode() ? 240'000'000 : 80'000'000; }
+inline uint64_t SimWarmupNs() { return SimWindowNs() / 5; }
+
+/// Runs one workload model on the simulated Niagara with `threads` workers.
+/// SimResult counts per-record progress; divide by records_per_txn for
+/// transaction rates.
+inline simcore::SimResult RunModel(const workload::WorkloadModel& model,
+                                   int threads, uint64_t seed = 1) {
+  simcore::Simulation sim(simcore::MachineConfig{}, seed);
+  workload::BuildModel(&sim, threads, model);
+  return sim.Run(SimWindowNs(), SimWarmupNs());
+}
+
+/// Transaction throughput (total and per-thread) for `model`.
+inline double ModelTxnTps(const workload::WorkloadModel& model, int threads) {
+  return RunModel(model, threads).tps /
+         static_cast<double>(model.records_per_txn);
+}
+inline double ModelTxnTpsPerThread(const workload::WorkloadModel& model,
+                                   int threads) {
+  return ModelTxnTps(model, threads) / threads;
+}
+
+/// Prints an aligned series table: one row per thread count, one column
+/// per named series.
+inline void PrintSeriesTable(const std::string& y_label,
+                             const std::vector<int>& threads,
+                             const std::vector<std::string>& names,
+                             const std::vector<std::vector<double>>& series) {
+  std::printf("%-8s", "clients");
+  for (const auto& n : names) std::printf("  %14s", n.c_str());
+  std::printf("\n");
+  for (size_t row = 0; row < threads.size(); ++row) {
+    std::printf("%-8d", threads[row]);
+    for (size_t s = 0; s < series.size(); ++s) {
+      std::printf("  %14.2f", series[s][row]);
+    }
+    std::printf("\n");
+  }
+  std::printf("(y = %s)\n", y_label.c_str());
+}
+
+}  // namespace shoremt::bench
+
+#endif  // SHOREMT_BENCH_BENCH_UTIL_H_

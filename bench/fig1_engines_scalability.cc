@@ -1,0 +1,42 @@
+/// Figure 1: "Scalability as a function of available hardware contexts".
+///
+/// Normalized throughput of the four open-source engines on the insert
+/// microbenchmark, 1–32 concurrent threads on the simulated Niagara.
+/// Paper shape: none scales — PostgreSQL and Shore plateau, BerkeleyDB and
+/// MySQL peak early and then *drop*.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/engine_profiles.h"
+
+using namespace shoremt;
+using namespace shoremt::workload;
+
+int main() {
+  std::printf("=== Figure 1: normalized insert-microbenchmark throughput "
+              "(simulated T2000) ===\n\n");
+  Calibration calib;
+  std::vector<int> threads = bench::ThreadSweep();
+  std::vector<EngineKind> engines = {EngineKind::kPostgres, EngineKind::kMysql,
+                                     EngineKind::kShore, EngineKind::kBdb};
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (EngineKind e : engines) {
+    names.emplace_back(EngineName(e));
+    WorkloadModel model = InsertMicroModel(e, sm::Stage::kFinal, calib);
+    std::vector<double> curve;
+    double base = 0.0;
+    for (int t : threads) {
+      double tps = bench::ModelTxnTps(model, t);
+      if (base == 0.0) base = tps;
+      curve.push_back(tps / base);  // Normalized to 1 thread.
+    }
+    series.push_back(std::move(curve));
+  }
+  bench::PrintSeriesTable("throughput normalized to 1 thread", threads, names,
+                          series);
+  std::printf("\nexpected shape: postgres & shore plateau; bdb and mysql "
+              "decline after their early peak.\n");
+  return 0;
+}

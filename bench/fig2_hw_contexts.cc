@@ -1,0 +1,45 @@
+/// Figure 2: "Number of HW contexts per chip as a function of time".
+///
+/// Background data, not an experiment: hardware thread contexts per chip
+/// for the processor families the paper plots (public product data as of
+/// the paper's writing, extended through its publication year).
+
+#include <cstdio>
+
+namespace {
+
+struct ChipPoint {
+  const char* family;
+  int year;
+  int contexts;  // cores × hardware threads per core.
+};
+
+// One row per (family, year) product introduction.
+constexpr ChipPoint kPoints[] = {
+    {"Pentium", 1993, 1},     {"Pentium", 2000, 1},
+    {"Pentium", 2002, 2},  // Pentium 4 HT.
+    {"Itanium", 2001, 1},     {"Itanium", 2006, 4},
+    {"Intel Core2", 2006, 2}, {"Intel Core2", 2007, 4},
+    {"Intel Core2", 2008, 8},  // Dual-die quad + HT era.
+    {"UltraSparc", 1995, 1},  {"UltraSparc", 2004, 4},
+    {"UltraSparc", 2005, 32},  // Niagara T1: 8 cores x 4 threads.
+    {"UltraSparc", 2007, 64},  // Niagara 2: 8 cores x 8 threads.
+    {"IBM Power", 1997, 1},   {"IBM Power", 2001, 2},
+    {"IBM Power", 2004, 4},   {"IBM Power", 2007, 8},
+    {"AMD", 2003, 1},         {"AMD", 2005, 2},
+    {"AMD", 2007, 4},         {"AMD", 2008, 8},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: hardware contexts per chip over time ===\n\n");
+  std::printf("%-14s  %6s  %10s\n", "family", "year", "contexts");
+  for (const ChipPoint& p : kPoints) {
+    std::printf("%-14s  %6d  %10d\n", p.family, p.year, p.contexts);
+  }
+  std::printf("\nexpected shape: flat at 1 through the 1990s, then "
+              "exponential growth after ~2003 —\nthe trend that motivates "
+              "the whole paper (\"core counts doubling every two years\").\n");
+  return 0;
+}

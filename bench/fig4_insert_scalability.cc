@@ -1,0 +1,52 @@
+/// Figure 4: "Scalability and performance comparison of Shore-MT vs
+/// several open-source engines and one commercial engine".
+///
+/// Insert microbenchmark, throughput-per-thread (the paper plots log-y:
+/// equal scalability = equal slope). Paper shape: Shore-MT highest and
+/// near-flat; DBMS "X" close behind; BDB fastest at 1–4 threads then
+/// collapsing; MySQL declining past ~8; PostgreSQL plateauing; Shore flat
+/// and lowest.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/engine_profiles.h"
+
+using namespace shoremt;
+using namespace shoremt::workload;
+
+int main() {
+  std::printf("=== Figure 4: insert microbenchmark, tps/thread "
+              "(simulated T2000) ===\n\n");
+  Calibration calib;
+  std::vector<int> threads = bench::ThreadSweep();
+  struct Entry {
+    EngineKind engine;
+    sm::Stage stage;
+  };
+  std::vector<Entry> entries = {
+      {EngineKind::kShore, sm::Stage::kFinal},
+      {EngineKind::kBdb, sm::Stage::kFinal},
+      {EngineKind::kMysql, sm::Stage::kFinal},
+      {EngineKind::kPostgres, sm::Stage::kFinal},
+      {EngineKind::kDbmsX, sm::Stage::kFinal},
+      {EngineKind::kShoreMt, sm::Stage::kFinal},
+  };
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (const Entry& e : entries) {
+    names.emplace_back(EngineName(e.engine));
+    WorkloadModel model = InsertMicroModel(e.engine, e.stage, calib);
+    std::vector<double> curve;
+    for (int t : threads) {
+      curve.push_back(bench::ModelTxnTpsPerThread(model, t));
+    }
+    series.push_back(std::move(curve));
+  }
+  bench::PrintSeriesTable("transactions/second/thread (100-insert txns)",
+                          threads, names, series);
+  std::printf("\nexpected shape (log-y): shore-mt flattest & highest at 32; "
+              "dbms-x near it;\nbdb wins at 1-4 threads then collapses; "
+              "mysql declines; postgres plateaus; shore ~1/x.\n");
+  return 0;
+}

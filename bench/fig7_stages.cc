@@ -1,0 +1,52 @@
+/// Figure 7: "Performance and scalability improvements due to
+/// optimizations detailed in Section 7".
+///
+/// The insert microbenchmark across the seven development stages of
+/// Shore-MT (baseline → bpool 1 → caching → log → lock mgr → bpool 2 →
+/// final), throughput-per-client on the simulated 32-context Niagara.
+/// Paper shape: baseline flat ~constant total (tps/client ~ 1/x); every
+/// stage raises the 32-thread envelope; final is compute-bound.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/engine_profiles.h"
+
+using namespace shoremt;
+using namespace shoremt::workload;
+
+int main() {
+  std::printf("=== Figure 7: Shore to Shore-MT optimization stages "
+              "(simulated T2000) ===\n\n");
+  Calibration calib;
+  std::vector<int> threads = bench::ThreadSweep();
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (sm::Stage stage : sm::kAllStages) {
+    names.emplace_back(sm::StageName(stage));
+    WorkloadModel model = InsertMicroModel(EngineKind::kShoreMt, stage, calib);
+    std::vector<double> curve;
+    for (int t : threads) {
+      curve.push_back(bench::ModelTxnTpsPerThread(model, t));
+    }
+    series.push_back(std::move(curve));
+  }
+  bench::PrintSeriesTable("transactions/second/client (100-insert txns)",
+                          threads, names, series);
+
+  // The paper's headline numbers: scalability (32-thread total throughput
+  // over 1-thread) and the single-thread speedup from baseline to final.
+  std::printf("\nsummary:\n");
+  double base_1 = series.front().front();
+  double final_1 = series.back().front();
+  double base_32 = series.front().back() * threads.back();
+  double final_32 = series.back().back() * threads.back();
+  std::printf("  single-thread speedup baseline->final: %.1fx "
+              "(paper: ~3x, §5)\n", final_1 / base_1);
+  std::printf("  32-thread total speedup baseline->final: %.0fx\n",
+              final_32 / base_32);
+  std::printf("  final-stage scalability (32T total / 1T total): %.1fx on "
+              "32 contexts\n",
+              final_32 / final_1);
+  return 0;
+}

@@ -1,0 +1,370 @@
+#include "btree/btree.h"
+
+#include <cstring>
+#include <utility>
+
+#include "btree/btree_node.h"
+#include "page/page.h"
+
+namespace shoremt::btree {
+
+using buffer::PageHandle;
+using sync::LatchMode;
+
+BTree::BTree(buffer::BufferPool* pool, space::SpaceManager* space,
+             log::LogManager* log, txn::TxnManager* txns,
+             lock::LockManager* locks, StoreId store, PageNum root,
+             BTreeOptions options)
+    : pool_(pool),
+      space_(space),
+      log_(log),
+      txns_(txns),
+      locks_(locks),
+      store_(store),
+      root_(root),
+      options_(options) {}
+
+Status BTree::LogAndMark(txn::Transaction* txn, PageHandle* handle,
+                         log::LogRecord rec) {
+  if (txn != nullptr) {
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+  }
+  SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+  if (txn != nullptr) txns_->NoteLogged(txn, a.lsn, a.end);
+  handle->MarkDirty(a.end);
+  return Status::Ok();
+}
+
+Result<PageNum> BTree::CreateRoot(buffer::BufferPool* pool,
+                                  space::SpaceManager* space,
+                                  log::LogManager* log, txn::TxnManager* txns,
+                                  txn::Transaction* txn, StoreId store) {
+  PageNum root_page = kInvalidPageNum;
+  auto init = [&](PageNum page) -> Status {
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle h, pool->NewPage(page));
+    BTreeNode node(h.data());
+    node.Init(page, store, /*level=*/0);
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kPageFormat;
+    rec.page = page;
+    rec.store = store;
+    rec.page_type = static_cast<uint8_t>(page::PageType::kBTreeLeaf);
+    if (txn != nullptr) {
+      rec.txn = txn->id;
+      rec.prev_lsn = txn->last_lsn;
+    }
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log->Append(rec));
+    if (txn != nullptr) txns->NoteLogged(txn, a.lsn, a.end);
+    h.MarkDirty(a.end);
+    root_page = page;
+    return Status::Ok();
+  };
+  SHOREMT_ASSIGN_OR_RETURN(PageNum page, space->AllocatePage(store, init));
+  // Log the allocation for space-map recovery.
+  log::LogRecord alloc;
+  alloc.type = log::LogRecordType::kAllocPage;
+  alloc.page = page;
+  alloc.store = store;
+  if (txn != nullptr) {
+    alloc.txn = txn->id;
+    alloc.prev_lsn = txn->last_lsn;
+  }
+  SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log->Append(alloc));
+  if (txn != nullptr) txns->NoteLogged(txn, a.lsn, a.end);
+  return root_page;
+}
+
+Result<PageHandle> BTree::NewNode(txn::Transaction* txn, uint16_t level,
+                                  PageNum* page_out) {
+  PageHandle out;
+  auto init = [&](PageNum page) -> Status {
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(page));
+    BTreeNode node(h.data());
+    node.Init(page, store_, level);
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kPageFormat;
+    rec.page = page;
+    rec.store = store_;
+    rec.page_type = static_cast<uint8_t>(level == 0
+                                             ? page::PageType::kBTreeLeaf
+                                             : page::PageType::kBTreeInternal);
+    SHOREMT_RETURN_NOT_OK(LogAndMark(txn, &h, std::move(rec)));
+    out = std::move(h);
+    return Status::Ok();
+  };
+  SHOREMT_ASSIGN_OR_RETURN(PageNum page, space_->AllocatePage(store_, init));
+  log::LogRecord alloc;
+  alloc.type = log::LogRecordType::kAllocPage;
+  alloc.page = page;
+  alloc.store = store_;
+  SHOREMT_RETURN_NOT_OK(LogAndMark(txn, &out, std::move(alloc)));
+  *page_out = page;
+  return std::move(out);
+}
+
+Status BTree::SplitRoot(txn::Transaction* txn, PageHandle* root_handle) {
+  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  BTreeNode root(root_handle->data());
+  PageNum left_page, right_page;
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle left_h, NewNode(txn, root.level(),
+                                                      &left_page));
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle right_h, NewNode(txn, root.level(),
+                                                       &right_page));
+  BTreeNode left(left_h.data());
+  BTreeNode right(right_h.data());
+
+  // Clone the root into `left`, then split left → right.
+  left.RestoreContent(root.SerializeContent());
+  page::HeaderOf(left_h.data())->page_num = left_page;
+  uint64_t sep = left.SplitInto(&right);
+  if (root.IsLeaf()) {
+    page::HeaderOf(left_h.data())->next_page = right_page;
+    page::HeaderOf(right_h.data())->prev_page = left_page;
+  }
+
+  // The root becomes an internal node over {left, right}.
+  uint16_t new_level = root.level() + 1;
+  BTreeNode fresh_root(root_handle->data());
+  PageNum root_page = page::HeaderOf(root_handle->data())->page_num;
+  fresh_root.Init(root_page, store_, new_level);
+  fresh_root.set_leftmost_child(left_page);
+  fresh_root.InsertSorted(sep, right_page);
+
+  // Log all three new images (redo-only structure change).
+  for (auto* h : {&left_h, &right_h, root_handle}) {
+    BTreeNode n(h->data());
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kBtreeSetContent;
+    rec.page = page::HeaderOf(h->data())->page_num;
+    rec.store = store_;
+    rec.after = n.SerializeContent();
+    // Persist the leaf chain via the page header fields.
+    rec.slot = 0;
+    SHOREMT_RETURN_NOT_OK(LogAndMark(txn, h, std::move(rec)));
+  }
+  return Status::Ok();
+}
+
+Status BTree::SplitChild(txn::Transaction* txn, PageHandle* parent_handle,
+                         PageHandle* child_handle, uint64_t key) {
+  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  BTreeNode parent(parent_handle->data());
+  BTreeNode child(child_handle->data());
+  PageNum right_page;
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle right_h, NewNode(txn, child.level(),
+                                                       &right_page));
+  BTreeNode right(right_h.data());
+  uint64_t sep = child.SplitInto(&right);
+  PageNum child_page = page::HeaderOf(child_handle->data())->page_num;
+  if (child.IsLeaf()) {
+    // Chain: child -> right -> old successor.
+    auto* ch = page::HeaderOf(child_handle->data());
+    auto* rh = page::HeaderOf(right_h.data());
+    rh->next_page = ch->next_page;
+    rh->prev_page = child_page;
+    ch->next_page = right_page;
+  }
+  for (auto* h : {child_handle, &right_h}) {
+    BTreeNode n(h->data());
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kBtreeSetContent;
+    rec.page = page::HeaderOf(h->data())->page_num;
+    rec.store = store_;
+    rec.after = n.SerializeContent();
+    SHOREMT_RETURN_NOT_OK(LogAndMark(txn, h, std::move(rec)));
+  }
+  // Publish the separator in the parent (guaranteed non-full).
+  parent.InsertSorted(sep, right_page);
+  log::LogRecord prec;
+  prec.type = log::LogRecordType::kBtreeInsert;
+  prec.page = page::HeaderOf(parent_handle->data())->page_num;
+  prec.store = store_;
+  prec.after.resize(sizeof(BTreeEntry));
+  BTreeEntry pe{sep, right_page};
+  std::memcpy(prec.after.data(), &pe, sizeof(pe));
+  SHOREMT_RETURN_NOT_OK(LogAndMark(txn, parent_handle, std::move(prec)));
+
+  // Continue the descent into whichever half now covers `key`.
+  if (key >= sep) {
+    *child_handle = std::move(right_h);
+  }
+  return Status::Ok();
+}
+
+Result<PageHandle> BTree::InsertUnlogged(uint64_t key, uint64_t value,
+                                         PageNum* leaf_page) {
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kExclusive));
+  {
+    BTreeNode root(h.data());
+    // Structure changes during undo are logged redo-only with no txn.
+    if (root.IsFull()) SHOREMT_RETURN_NOT_OK(SplitRoot(nullptr, &h));
+  }
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) {
+      if (!node.InsertSorted(key, value)) {
+        return Status::AlreadyExists("duplicate key");
+      }
+      *leaf_page = page::HeaderOf(h.data())->page_num;
+      return std::move(h);
+    }
+    PageNum child_page = node.ChildFor(key);
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle child_h, pool_->FixPage(child_page, LatchMode::kExclusive));
+    {
+      BTreeNode child(child_h.data());
+      if (child.IsFull()) {
+        SHOREMT_RETURN_NOT_OK(SplitChild(nullptr, &h, &child_h, key));
+      }
+    }
+    h = std::move(child_h);  // Crab: release parent, keep child.
+  }
+}
+
+Result<PageHandle> BTree::RemoveUnlogged(uint64_t key, uint64_t* removed,
+                                         PageNum* leaf_page) {
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kExclusive));
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) {
+      uint16_t i;
+      if (!node.FindKey(key, &i)) return Status::NotFound("key not found");
+      *removed = node.entry(i).value;
+      node.RemoveKey(key);
+      *leaf_page = page::HeaderOf(h.data())->page_num;
+      return std::move(h);
+    }
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle child_h,
+        pool_->FixPage(node.ChildFor(key), LatchMode::kExclusive));
+    h = std::move(child_h);
+  }
+}
+
+Status BTree::Insert(txn::Transaction* txn, uint64_t key, RecordId rid) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kExclusive));
+  {
+    BTreeNode root(h.data());
+    if (root.IsFull()) SHOREMT_RETURN_NOT_OK(SplitRoot(txn, &h));
+  }
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) {
+      if (!node.InsertSorted(key, PackRecordId(rid))) {
+        return Status::AlreadyExists("duplicate key");
+      }
+      log::LogRecord rec;
+      rec.type = log::LogRecordType::kBtreeInsert;
+      rec.page = page::HeaderOf(h.data())->page_num;
+      rec.store = store_;
+      rec.after.resize(sizeof(BTreeEntry));
+      BTreeEntry e{key, PackRecordId(rid)};
+      std::memcpy(rec.after.data(), &e, sizeof(e));
+      return LogAndMark(txn, &h, std::move(rec));
+    }
+    PageNum child_page = node.ChildFor(key);
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle child_h, pool_->FixPage(child_page, LatchMode::kExclusive));
+    {
+      BTreeNode child(child_h.data());
+      if (child.IsFull()) {
+        SHOREMT_RETURN_NOT_OK(SplitChild(txn, &h, &child_h, key));
+      }
+    }
+    h = std::move(child_h);  // Crab: release parent, keep child.
+  }
+}
+
+Result<RecordId> BTree::Find(txn::Transaction* txn, uint64_t key) {
+  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  if (options_.probe_lock_table && txn != nullptr) {
+    // The redundant per-probe lock table search removed in §7.7.
+    (void)locks_->HeldMode(txn->id, lock::LockId::Store(store_));
+    stats_.probe_lock_searches.fetch_add(1, std::memory_order_relaxed);
+  }
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kShared));
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) {
+      uint16_t i;
+      if (!node.FindKey(key, &i)) return Status::NotFound("key not found");
+      return UnpackRecordId(node.entry(i).value);
+    }
+    PageNum child_page = node.ChildFor(key);
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle child_h,
+                             pool_->FixPage(child_page, LatchMode::kShared));
+    h = std::move(child_h);
+  }
+}
+
+Status BTree::Remove(txn::Transaction* txn, uint64_t key) {
+  stats_.removes.fetch_add(1, std::memory_order_relaxed);
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kExclusive));
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) {
+      uint16_t i;
+      if (!node.FindKey(key, &i)) return Status::NotFound("key not found");
+      BTreeEntry removed = node.entry(i);
+      node.RemoveKey(key);
+      log::LogRecord rec;
+      rec.type = log::LogRecordType::kBtreeDelete;
+      rec.page = page::HeaderOf(h.data())->page_num;
+      rec.store = store_;
+      rec.before.resize(sizeof(BTreeEntry));
+      std::memcpy(rec.before.data(), &removed, sizeof(removed));
+      return LogAndMark(txn, &h, std::move(rec));
+    }
+    PageNum child_page = node.ChildFor(key);
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle child_h, pool_->FixPage(child_page, LatchMode::kExclusive));
+    h = std::move(child_h);  // No merging: every node is delete-safe.
+  }
+}
+
+Status BTree::Scan(uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, RecordId)>& fn) {
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(root_, LatchMode::kShared));
+  // Descend to the leaf covering `lo`.
+  for (;;) {
+    BTreeNode node(h.data());
+    if (node.IsLeaf()) break;
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle child_h,
+        pool_->FixPage(node.ChildFor(lo), LatchMode::kShared));
+    h = std::move(child_h);
+  }
+  // Walk the leaf chain.
+  for (;;) {
+    BTreeNode leaf(h.data());
+    for (uint16_t i = leaf.LowerBound(lo); i < leaf.count(); ++i) {
+      const BTreeEntry& e = leaf.entry(i);
+      if (e.key > hi) return Status::Ok();
+      if (!fn(e.key, UnpackRecordId(e.value))) return Status::Ok();
+    }
+    PageNum next = page::HeaderOf(h.data())->next_page;
+    if (next == kInvalidPageNum) return Status::Ok();
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle next_h,
+                             pool_->FixPage(next, LatchMode::kShared));
+    h = std::move(next_h);
+  }
+}
+
+Result<uint64_t> BTree::CountEntries() {
+  uint64_t n = 0;
+  SHOREMT_RETURN_NOT_OK(Scan(0, UINT64_MAX, [&](uint64_t, RecordId) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace shoremt::btree

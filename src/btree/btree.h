@@ -1,0 +1,112 @@
+#ifndef SHOREMT_BTREE_BTREE_H_
+#define SHOREMT_BTREE_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "space/space_manager.h"
+#include "txn/txn_manager.h"
+
+namespace shoremt::btree {
+
+/// B+Tree behaviour knobs.
+struct BTreeOptions {
+  /// Emulates the "unnecessary search of the lock table initiated by
+  /// B+Tree probes" that §7.7 removed: every probe performs a redundant
+  /// lock-table lookup. Off in the final stage.
+  bool probe_lock_table = false;
+};
+
+struct BTreeStats {
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> finds{0};
+  std::atomic<uint64_t> removes{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> probe_lock_searches{0};
+};
+
+/// Latch-coupled B+Tree over buffer pool pages (§2.2: "a robust
+/// implementation of B+Tree indexes"). Uniquely-keyed; 64-bit keys; values
+/// are RecordIds. The root page number is fixed for the tree's lifetime
+/// (root splits push contents down), so no catalog update can race a
+/// traversal.
+///
+/// Concurrency: reads crab with shared latches; writers crab with
+/// exclusive latches and split full children preemptively on the way down,
+/// so a safe parent is always held when a child must split. Structure
+/// modifications are logged redo-only (never undone); entry inserts and
+/// deletes are logged physiologically and are undoable.
+class BTree {
+ public:
+  BTree(buffer::BufferPool* pool, space::SpaceManager* space,
+        log::LogManager* log, txn::TxnManager* txns,
+        lock::LockManager* locks, StoreId store, PageNum root,
+        BTreeOptions options);
+
+  /// Allocates and formats a root leaf for a new tree (logged under
+  /// `txn`); returns the root page number.
+  static Result<PageNum> CreateRoot(buffer::BufferPool* pool,
+                                    space::SpaceManager* space,
+                                    log::LogManager* log,
+                                    txn::TxnManager* txns,
+                                    txn::Transaction* txn, StoreId store);
+
+  /// Inserts key→rid; AlreadyExists on duplicate key.
+  Status Insert(txn::Transaction* txn, uint64_t key, RecordId rid);
+  /// Point lookup; NotFound if absent. `txn` may be null (latch-only read).
+  Result<RecordId> Find(txn::Transaction* txn, uint64_t key);
+  /// Deletes `key`; NotFound if absent.
+  Status Remove(txn::Transaction* txn, uint64_t key);
+  /// In-order scan over [lo, hi]; `fn` returns false to stop early.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t, RecordId)>& fn);
+
+  /// Logical-undo hooks: perform the structural work of an insert/remove
+  /// but do NOT log the leaf entry change — the caller logs a CLR carrying
+  /// the inverse action and stamps the returned handle. Splits triggered
+  /// on the way down are still logged (redo-only) as usual.
+  Result<buffer::PageHandle> InsertUnlogged(uint64_t key, uint64_t value,
+                                            PageNum* leaf_page);
+  Result<buffer::PageHandle> RemoveUnlogged(uint64_t key, uint64_t* removed,
+                                            PageNum* leaf_page);
+  /// Total number of entries (full scan; diagnostics).
+  Result<uint64_t> CountEntries();
+
+  PageNum root() const { return root_; }
+  StoreId store() const { return store_; }
+  const BTreeStats& stats() const { return stats_; }
+
+ private:
+  /// Appends `rec` (txn-chained when txn != null) and stamps `handle`.
+  Status LogAndMark(txn::Transaction* txn, buffer::PageHandle* handle,
+                    log::LogRecord rec);
+  /// Splits `child` (full, EX-latched) under `parent` (EX-latched, not
+  /// full). On return *child_handle refers to the node covering `key`.
+  Status SplitChild(txn::Transaction* txn, buffer::PageHandle* parent_handle,
+                    buffer::PageHandle* child_handle, uint64_t key);
+  /// Splits a full root in place (contents pushed into two new children).
+  Status SplitRoot(txn::Transaction* txn, buffer::PageHandle* root_handle);
+  /// Allocates + formats a new node page (logged); returns its handle.
+  Result<buffer::PageHandle> NewNode(txn::Transaction* txn, uint16_t level,
+                                     PageNum* page_out);
+
+  buffer::BufferPool* pool_;
+  space::SpaceManager* space_;
+  log::LogManager* log_;
+  txn::TxnManager* txns_;
+  lock::LockManager* locks_;
+  StoreId store_;
+  PageNum root_;
+  BTreeOptions options_;
+  BTreeStats stats_;
+};
+
+}  // namespace shoremt::btree
+
+#endif  // SHOREMT_BTREE_BTREE_H_

@@ -1,0 +1,329 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "page/page.h"
+
+namespace shoremt::buffer {
+
+// ------------------------------------------------------------ PageHandle --
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Unfix();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    mode_ = other.mode_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* PageHandle::data() { return pool_->FrameData(frame_); }
+const uint8_t* PageHandle::data() const { return pool_->FrameData(frame_); }
+
+void PageHandle::MarkDirty(Lsn lsn) {
+  Frame& f = pool_->frames_[frame_];
+  page::HeaderOf(pool_->FrameData(frame_))->page_lsn = lsn.value;
+  f.dirty.store(true, std::memory_order_release);
+  uint64_t expected = 0;
+  f.rec_lsn.compare_exchange_strong(expected, lsn.value,
+                                    std::memory_order_acq_rel);
+}
+
+void PageHandle::DowngradeLatch() {
+  pool_->frames_[frame_].latch.Downgrade();
+  mode_ = sync::LatchMode::kShared;
+}
+
+void PageHandle::Unfix() {
+  if (pool_ == nullptr) return;
+  pool_->UnfixInternal(frame_, mode_);
+  pool_ = nullptr;
+}
+
+// ------------------------------------------------------------ BufferPool --
+
+BufferPool::BufferPool(io::Volume* volume, BufferPoolOptions options,
+                       LogFlushFn log_flush)
+    : volume_(volume),
+      options_(options),
+      log_flush_(std::move(log_flush)),
+      arena_(new uint8_t[options.frame_count * kPageSize]),
+      frames_(options.frame_count),
+      table_(MakeFrameTable(options.table_kind, options.frame_count)),
+      free_frames_(static_cast<uint32_t>(options.frame_count)),
+      in_transit_(options.transit_shards),
+      clock_stats_("bpool.clock") {
+  sync::SyncStatsRegistry::Instance().Register(&clock_stats_);
+  for (uint32_t i = 0; i < options.frame_count; ++i) free_frames_.Push(i);
+  if (options_.enable_cleaner) {
+    cleaner_ = std::thread([this] {
+      while (!stop_cleaner_.load(std::memory_order_acquire)) {
+        (void)CleanerSweep();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.cleaner_interval_us));
+      }
+    });
+  }
+}
+
+BufferPool::~BufferPool() {
+  stop_cleaner_.store(true, std::memory_order_release);
+  if (cleaner_.joinable()) cleaner_.join();
+  sync::SyncStatsRegistry::Instance().Unregister(&clock_stats_);
+}
+
+bool BufferPool::TryOptimisticPin(PageNum page, int frame) {
+  Frame& f = frames_[frame];
+  if (!f.PinIfPinned()) return false;
+  if (f.page.load(std::memory_order_acquire) != page) {
+    f.Unpin();  // Pinned a frame that was recycled under us.
+    return false;
+  }
+  return true;
+}
+
+Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
+  if (page == kInvalidPageNum) {
+    return Status::InvalidArgument("cannot fix the invalid page");
+  }
+  stats_.fixes.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Fast path (§6.2.1): lock-free lookup + conditional pin, verified by
+    // re-reading the frame's page id after the pin lands.
+    if (options_.pin_if_pinned) {
+      int frame = table_->FindOptimistic(page);
+      if (frame >= 0 && TryOptimisticPin(page, frame)) {
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        stats_.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+        frames_[frame].latch.Acquire(mode);
+        return PageHandle(this, frame, page, mode);
+      }
+    }
+    // Locked path: pin under the table's bucket lock (safe from zero).
+    int frame = table_->FindAndPin(page, [&](int f) {
+      frames_[f].pins.fetch_add(1, std::memory_order_acquire);
+    });
+    if (frame >= 0) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      frames_[frame].latch.Acquire(mode);
+      return PageHandle(this, frame, page, mode);
+    }
+    // Miss: make sure any in-flight write-back of this page finishes, then
+    // bring it in ourselves.
+    in_transit_.WaitUntilClear(page);
+    auto r = HandleMiss(page, /*read_from_disk=*/true);
+    if (r.ok()) {
+      frames_[*r].latch.Acquire(mode);
+      return PageHandle(this, *r, page, mode);
+    }
+    if (!r.status().IsBusy()) return r.status();
+    // Busy: lost an insert race or no evictable frame right now — retry.
+  }
+  return Status::Busy("buffer pool thrashing: no evictable frames");
+}
+
+Result<PageHandle> BufferPool::NewPage(PageNum page) {
+  if (page == kInvalidPageNum) {
+    return Status::InvalidArgument("cannot create the invalid page");
+  }
+  stats_.fixes.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // A freed-and-reallocated page may still be cached; take it over.
+    int frame = table_->FindAndPin(page, [&](int f) {
+      frames_[f].pins.fetch_add(1, std::memory_order_acquire);
+    });
+    if (frame >= 0) {
+      frames_[frame].latch.Acquire(sync::LatchMode::kExclusive);
+      return PageHandle(this, frame, page, sync::LatchMode::kExclusive);
+    }
+    auto r = HandleMiss(page, /*read_from_disk=*/false);
+    if (r.ok()) {
+      frames_[*r].latch.Acquire(sync::LatchMode::kExclusive);
+      return PageHandle(this, *r, page, sync::LatchMode::kExclusive);
+    }
+    if (!r.status().IsBusy()) return r.status();
+  }
+  return Status::Busy("buffer pool thrashing: no evictable frames");
+}
+
+Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
+  SHOREMT_ASSIGN_OR_RETURN(int frame, AllocateFrame());
+  Frame& f = frames_[frame];
+  if (read_from_disk) {
+    Status st = volume_->ReadPage(page, FrameData(frame));
+    if (!st.ok()) {
+      free_frames_.Push(static_cast<uint32_t>(frame));
+      return st;
+    }
+  }
+  // Publish: pin first so the frame is never observable evictable.
+  f.pins.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.rec_lsn.store(0, std::memory_order_relaxed);
+  f.referenced.store(true, std::memory_order_relaxed);
+  f.page.store(page, std::memory_order_release);
+  if (!table_->Insert(page, frame)) {
+    // Another thread brought the page in first; yield our copy.
+    f.page.store(kInvalidPageNum, std::memory_order_relaxed);
+    f.pins.store(0, std::memory_order_release);
+    free_frames_.Push(static_cast<uint32_t>(frame));
+    return Status::Busy("lost page-in race");
+  }
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  return frame;
+}
+
+Result<int> BufferPool::AllocateFrame() {
+  if (auto idx = free_frames_.Pop()) return static_cast<int>(*idx);
+
+  const size_t n = frames_.size();
+  const bool early_release = options_.release_clock_hand_early;
+  clock_lock_.lock();
+  for (size_t step = 0; step < 3 * n; ++step) {
+    size_t h = clock_hand_.fetch_add(1, std::memory_order_relaxed) % n;
+    Frame& f = frames_[h];
+    PageNum victim = f.page.load(std::memory_order_acquire);
+    if (victim == kInvalidPageNum) continue;
+    if (f.pins.load(std::memory_order_acquire) != 0) continue;
+    if (f.referenced.exchange(false, std::memory_order_acq_rel)) {
+      continue;  // Second chance.
+    }
+    // Candidate found. Shore-MT releases the hand before the (possibly
+    // slow) eviction so other misses can search in parallel (§7.6).
+    if (early_release) clock_lock_.unlock();
+
+    bool claimed = table_->EraseIf(victim, [&] {
+      return f.pins.load(std::memory_order_relaxed) == 0 &&
+             f.page.load(std::memory_order_relaxed) == victim;
+    });
+    if (claimed) {
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      Status st = Status::Ok();
+      if (f.dirty.load(std::memory_order_acquire)) {
+        // Dirty eviction: announce in-transit-out so a racing re-read of
+        // this page waits for the write to land.
+        in_transit_.Add(victim);
+        st = WriteBack(static_cast<int>(h), victim);
+        in_transit_.Remove(victim);
+        stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!early_release) clock_lock_.unlock();
+      if (!st.ok()) {
+        // Write-back failed: the mapping is gone; surface the error and
+        // leave the frame free (its contents are still intact on failure
+        // but the page image can be re-read from the log/volume).
+        free_frames_.Push(static_cast<uint32_t>(h));
+        return st;
+      }
+      f.page.store(kInvalidPageNum, std::memory_order_relaxed);
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.rec_lsn.store(0, std::memory_order_relaxed);
+      return static_cast<int>(h);
+    }
+    if (early_release) clock_lock_.lock();
+  }
+  clock_lock_.unlock();
+  return Status::Busy("no evictable frame found");
+}
+
+Status BufferPool::WriteBack(int frame, PageNum page) {
+  if (log_flush_) {
+    Lsn page_lsn{page::HeaderOf(FrameData(frame))->page_lsn};
+    SHOREMT_RETURN_NOT_OK(log_flush_(page_lsn));  // WAL: log first.
+  }
+  return volume_->WritePage(page, FrameData(frame));
+}
+
+Status BufferPool::FlushPage(PageNum page) {
+  int frame = table_->FindAndPin(page, [&](int f) {
+    frames_[f].pins.fetch_add(1, std::memory_order_acquire);
+  });
+  if (frame < 0) return Status::Ok();  // Not cached: nothing to do.
+  Frame& f = frames_[frame];
+  f.latch.AcquireShared();
+  Status st = Status::Ok();
+  if (f.dirty.load(std::memory_order_acquire)) {
+    st = WriteBack(frame, page);
+    if (st.ok()) {
+      f.dirty.store(false, std::memory_order_release);
+      f.rec_lsn.store(0, std::memory_order_relaxed);
+    }
+  }
+  f.latch.ReleaseShared();
+  f.Unpin();
+  return st;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    PageNum page = f.page.load(std::memory_order_acquire);
+    if (page == kInvalidPageNum) continue;
+    if (!f.dirty.load(std::memory_order_acquire)) continue;
+    SHOREMT_RETURN_NOT_OK(FlushPage(page));
+  }
+  return Status::Ok();
+}
+
+Lsn BufferPool::ScanMinRecLsn() const {
+  uint64_t min_lsn = 0;
+  for (const Frame& f : frames_) {
+    if (f.page.load(std::memory_order_acquire) == kInvalidPageNum) continue;
+    if (!f.dirty.load(std::memory_order_acquire)) continue;
+    uint64_t r = f.rec_lsn.load(std::memory_order_acquire);
+    if (r != 0 && (min_lsn == 0 || r < min_lsn)) min_lsn = r;
+  }
+  return Lsn{min_lsn};
+}
+
+Status BufferPool::CleanerSweep() {
+  stats_.cleaner_sweeps.fetch_add(1, std::memory_order_relaxed);
+  // With an LSN provider the sweep-start LSN is the published redo point
+  // (strictly safe, see SetLsnProvider); otherwise fall back to the
+  // paper's newest-seen approximation.
+  uint64_t sweep_start_lsn = lsn_provider_ ? lsn_provider_().value : 0;
+  uint64_t newest_seen = cleaner_lsn_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    PageNum page = f.page.load(std::memory_order_acquire);
+    if (page == kInvalidPageNum) continue;
+    if (!f.dirty.load(std::memory_order_acquire)) continue;
+    // Pin through the locked path so eviction cannot race us.
+    int frame = table_->FindAndPin(page, [&](int fr) {
+      frames_[fr].pins.fetch_add(1, std::memory_order_acquire);
+    });
+    if (frame < 0) continue;  // Evicted (and thus written) meanwhile.
+    Frame& pf = frames_[frame];
+    pf.latch.AcquireShared();
+    if (pf.dirty.load(std::memory_order_acquire)) {
+      PageNum cur = pf.page.load(std::memory_order_acquire);
+      Status st = WriteBack(frame, cur);
+      if (st.ok()) {
+        newest_seen = std::max(
+            newest_seen, page::HeaderOf(FrameData(frame))->page_lsn);
+        pf.dirty.store(false, std::memory_order_release);
+        pf.rec_lsn.store(0, std::memory_order_relaxed);
+        stats_.cleaner_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    pf.latch.ReleaseShared();
+    pf.Unpin();
+  }
+  // After a completed sweep every page dirtied before the sweep has been
+  // written; the newest LSN encountered is now the oldest relevant redo
+  // point (§7.7).
+  cleaner_lsn_.store(lsn_provider_ ? sweep_start_lsn : newest_seen,
+                     std::memory_order_release);
+  return Status::Ok();
+}
+
+void BufferPool::UnfixInternal(int frame, sync::LatchMode mode) {
+  Frame& f = frames_[frame];
+  f.latch.Release(mode);
+  f.Unpin();
+}
+
+}  // namespace shoremt::buffer

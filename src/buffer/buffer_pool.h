@@ -1,0 +1,198 @@
+#ifndef SHOREMT_BUFFER_BUFFER_POOL_H_
+#define SHOREMT_BUFFER_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "buffer/frame.h"
+#include "buffer/frame_table.h"
+#include "buffer/in_transit.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "io/volume.h"
+#include "sync/lockfree_stack.h"
+#include "sync/rw_latch.h"
+#include "sync/spinlock.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::buffer {
+
+/// Buffer pool tuning knobs; defaults are the Shore-MT "final" stage, and
+/// the stage presets in sm/options.h roll them back per §7.
+struct BufferPoolOptions {
+  size_t frame_count = 2048;
+  TableKind table_kind = TableKind::kCuckoo;
+  /// Lock-free conditional pin for already-pinned (hot) pages (§6.2.1).
+  bool pin_if_pinned = true;
+  /// Shards of the in-transit-out list (1 = original global list).
+  int transit_shards = 128;
+  /// Release the clock-hand mutex before write-back/IO during eviction
+  /// (§7.6); if false the hand is held across the whole eviction.
+  bool release_clock_hand_early = true;
+  /// Background page cleaner (asynchronous dirty write-back, §2.2.1).
+  bool enable_cleaner = false;
+  uint64_t cleaner_interval_us = 2000;
+};
+
+/// Aggregate counters for benches and calibration.
+struct BufferPoolStats {
+  std::atomic<uint64_t> fixes{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> optimistic_hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
+  std::atomic<uint64_t> cleaner_writes{0};
+  std::atomic<uint64_t> cleaner_sweeps{0};
+};
+
+class BufferPool;
+
+/// RAII handle to a fixed (pinned + latched) page. Move-only; unfixes on
+/// destruction. Obtained from BufferPool::FixPage / NewPage.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle() { Unfix(); }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  /// The page image (kPageSize bytes).
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageNum page() const { return page_; }
+  sync::LatchMode mode() const { return mode_; }
+
+  /// Records that the caller modified the page under an exclusive latch.
+  /// `lsn` is the WAL record covering the change; it becomes the page LSN
+  /// and, if the page was clean, its recovery LSN.
+  void MarkDirty(Lsn lsn);
+
+  /// Converts an exclusive hold to shared (keeps the pin).
+  void DowngradeLatch();
+
+  /// Releases latch + pin early; the handle becomes invalid.
+  void Unfix();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, int frame, PageNum page, sync::LatchMode mode)
+      : pool_(pool), frame_(frame), page_(page), mode_(mode) {}
+
+  BufferPool* pool_ = nullptr;
+  int frame_ = -1;
+  PageNum page_ = kInvalidPageNum;
+  sync::LatchMode mode_ = sync::LatchMode::kShared;
+};
+
+/// The buffer pool manager (§2.2.1): presents the volume as if memory-
+/// resident, with CLOCK replacement, WAL-correct dirty write-back and the
+/// staged synchronization strategies of §6.2/§7.
+class BufferPool {
+ public:
+  /// `log_flush` (optional) is invoked with a page's LSN before its dirty
+  /// image is written out, enforcing write-ahead logging.
+  using LogFlushFn = std::function<Status(Lsn)>;
+  /// Supplies the log's current append LSN (cleaner sweeps snapshot it).
+  using LsnProviderFn = std::function<Lsn()>;
+
+  BufferPool(io::Volume* volume, BufferPoolOptions options,
+             LogFlushFn log_flush = nullptr);
+
+  /// Wires the log's append-LSN source. With a provider, CleanerSweep
+  /// publishes the sweep-start LSN, which is a strictly safe redo point:
+  /// every page dirtied before the sweep started has been written by the
+  /// end of the sweep, so surviving dirt carries only newer LSNs. Without
+  /// a provider the sweep publishes the newest page LSN it wrote (the
+  /// paper's §7.7 approximation).
+  void SetLsnProvider(LsnProviderFn provider) {
+    lsn_provider_ = std::move(provider);
+  }
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fixes an existing page: pins it, fetching from the volume on a miss,
+  /// and acquires its latch in `mode`.
+  Result<PageHandle> FixPage(PageNum page, sync::LatchMode mode);
+
+  /// Fixes a brand-new page (no read; the caller formats it). The page
+  /// must not be cached or contain live data.
+  Result<PageHandle> NewPage(PageNum page);
+
+  /// Writes `page` out if dirty (no-op when clean or uncached).
+  Status FlushPage(PageNum page);
+  /// Writes out every dirty page (quiesced shutdown / tests).
+  Status FlushAll();
+
+  /// Minimum rec_lsn across dirty frames — the checkpoint's redo low
+  /// water mark. This is the *blocking* variant: it scans every frame.
+  Lsn ScanMinRecLsn() const;
+
+  /// The decoupled variant (§7.7): the page cleaner tracks the newest LSN
+  /// it saw during its last completed sweep; because it writes out what it
+  /// passes, that value bounds redo for everything older. Null if the
+  /// cleaner has not completed a sweep yet.
+  Lsn CleanerTrackedLsn() const {
+    return Lsn{cleaner_lsn_.load(std::memory_order_acquire)};
+  }
+
+  /// Runs one synchronous cleaner sweep (used by tests and checkpoints
+  /// when the background cleaner is disabled).
+  Status CleanerSweep();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t frame_count() const { return frames_.size(); }
+  io::Volume* volume() { return volume_; }
+
+ private:
+  friend class PageHandle;
+
+  /// Pin bookkeeping shared by hit paths. Returns false if the frame no
+  /// longer holds `page` (caller retries).
+  bool TryOptimisticPin(PageNum page, int frame);
+  /// Miss path: allocate a frame, read (or skip for new pages), publish.
+  Result<int> HandleMiss(PageNum page, bool read_from_disk);
+  /// Finds a victim frame via CLOCK; returns a frame claimed for reuse
+  /// (already unmapped and written back).
+  Result<int> AllocateFrame();
+  /// Writes frame's dirty image to the volume (log flushed first).
+  Status WriteBack(int frame, PageNum page);
+  void UnfixInternal(int frame, sync::LatchMode mode);
+
+  uint8_t* FrameData(int frame) {
+    return arena_.get() + static_cast<size_t>(frame) * kPageSize;
+  }
+
+  io::Volume* volume_;
+  BufferPoolOptions options_;
+  LogFlushFn log_flush_;
+  LsnProviderFn lsn_provider_;
+  std::unique_ptr<uint8_t[]> arena_;
+  std::vector<Frame> frames_;
+  std::unique_ptr<FrameTable> table_;
+  sync::LockFreeIndexStack free_frames_;
+  InTransitTable in_transit_;
+
+  sync::SyncStats clock_stats_;
+  sync::TtasLock clock_lock_;
+  std::atomic<size_t> clock_hand_{0};
+
+  BufferPoolStats stats_;
+  std::atomic<uint64_t> cleaner_lsn_{0};
+  std::atomic<bool> stop_cleaner_{false};
+  std::thread cleaner_;
+};
+
+}  // namespace shoremt::buffer
+
+#endif  // SHOREMT_BUFFER_BUFFER_POOL_H_

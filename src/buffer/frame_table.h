@@ -1,0 +1,60 @@
+#ifndef SHOREMT_BUFFER_FRAME_TABLE_H_
+#define SHOREMT_BUFFER_FRAME_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+
+namespace shoremt::buffer {
+
+/// Buffer pool hash table strategy (§6.2.3). Three implementations trace
+/// Shore-MT's evolution: one global mutex (baseline), chained with
+/// per-bucket locks (bpool 1), and a 3-ary cuckoo table (log stage).
+enum class TableKind : uint8_t {
+  kGlobalChained,
+  kPerBucketChained,
+  kCuckoo,
+};
+
+/// Maps PageNum → frame index with strategy-specific synchronization.
+///
+/// Pinning protocol contract: pinning a frame whose pin count is zero is
+/// only safe under the same lock that an evictor takes in EraseIf — the
+/// `pin` / `check` callbacks run under that lock. The lock-free
+/// FindOptimistic is only for the pin-if-pinned fast path, which verifies
+/// the frame's page id after pinning.
+class FrameTable {
+ public:
+  virtual ~FrameTable() = default;
+
+  /// Lock-free candidate lookup; may return a stale frame index. Returns
+  /// -1 when not found.
+  virtual int FindOptimistic(PageNum page) const = 0;
+
+  /// Synchronized lookup: if `page` is mapped, invokes `pin(frame)` while
+  /// holding the internal lock covering that mapping and returns the frame
+  /// index; returns -1 if absent.
+  virtual int FindAndPin(PageNum page,
+                         const std::function<void(int)>& pin) = 0;
+
+  /// Inserts page→frame; fails (returns false) if the page is already
+  /// mapped.
+  virtual bool Insert(PageNum page, int frame) = 0;
+
+  /// Removes the mapping if `check()` approves it (runs under the lock
+  /// covering the mapping; typically verifies pin count == 0). Returns
+  /// true if removed, false if absent or vetoed.
+  virtual bool EraseIf(PageNum page, const std::function<bool()>& check) = 0;
+
+  /// Approximate number of mappings (diagnostics only).
+  virtual size_t Size() const = 0;
+};
+
+/// Creates a table able to map up to `capacity` frames.
+std::unique_ptr<FrameTable> MakeFrameTable(TableKind kind, size_t capacity);
+
+}  // namespace shoremt::buffer
+
+#endif  // SHOREMT_BUFFER_FRAME_TABLE_H_

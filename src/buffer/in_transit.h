@@ -1,0 +1,91 @@
+#ifndef SHOREMT_BUFFER_IN_TRANSIT_H_
+#define SHOREMT_BUFFER_IN_TRANSIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace shoremt::buffer {
+
+/// Tracks pages whose dirty contents are being written out ("in-transit-
+/// out", §6.2.3 / §7.6). A page miss must not re-read a page that is still
+/// being flushed, so readers wait here until the writer removes the entry.
+///
+/// `shards` = 1 reproduces original Shore's single global transit list
+/// (one mutex, long chains); Shore-MT distributes it across 128 lists,
+/// each of which in practice holds at most one element because page
+/// cleaning makes dirty evictions rare.
+class InTransitTable {
+ public:
+  explicit InTransitTable(int shards)
+      : shards_(static_cast<size_t>(shards)), table_(shards_) {}
+
+  InTransitTable(const InTransitTable&) = delete;
+  InTransitTable& operator=(const InTransitTable&) = delete;
+
+  /// Registers `page` as being written out.
+  void Add(PageNum page) {
+    Shard& s = ShardFor(page);
+    std::lock_guard<std::mutex> guard(s.mutex);
+    s.pages.push_back(page);
+    adds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Removes `page` and wakes any waiting readers.
+  void Remove(PageNum page) {
+    Shard& s = ShardFor(page);
+    {
+      std::lock_guard<std::mutex> guard(s.mutex);
+      for (size_t i = 0; i < s.pages.size(); ++i) {
+        if (s.pages[i] == page) {
+          s.pages[i] = s.pages.back();
+          s.pages.pop_back();
+          break;
+        }
+      }
+    }
+    s.cv.notify_all();
+  }
+
+  /// Blocks until `page` is no longer in transit (no-op if it never was).
+  void WaitUntilClear(PageNum page) {
+    Shard& s = ShardFor(page);
+    std::unique_lock<std::mutex> guard(s.mutex);
+    bool waited = false;
+    s.cv.wait(guard, [&] {
+      for (PageNum p : s.pages) {
+        if (p == page) {
+          waited = true;
+          return false;
+        }
+      }
+      return true;
+    });
+    if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t adds() const { return adds_.load(std::memory_order_relaxed); }
+  uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<PageNum> pages;
+  };
+
+  Shard& ShardFor(PageNum page) { return table_[page % shards_]; }
+
+  size_t shards_;
+  std::vector<Shard> table_;
+  std::atomic<uint64_t> adds_{0};
+  std::atomic<uint64_t> waits_{0};
+};
+
+}  // namespace shoremt::buffer
+
+#endif  // SHOREMT_BUFFER_IN_TRANSIT_H_

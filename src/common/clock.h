@@ -1,0 +1,33 @@
+#ifndef SHOREMT_COMMON_CLOCK_H_
+#define SHOREMT_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace shoremt {
+
+/// Monotonic wall-clock time in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scoped stopwatch: accumulates elapsed nanoseconds into *sink.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace shoremt
+
+#endif  // SHOREMT_COMMON_CLOCK_H_

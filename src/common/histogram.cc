@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace shoremt {
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0),
+      buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return std::min(kNumBuckets - 1, 64 - std::countl_zero(value));
+}
+
+void Histogram::Add(uint64_t value_ns) {
+  ++count_;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+  ++buckets_[BucketFor(value_ns)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  auto target = static_cast<uint64_t>(p * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Bucket i covers [2^(i-1), 2^i); report the midpoint, clamped to
+      // the observed range.
+      uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+      uint64_t hi = i == 0 ? 1 : (1ULL << i);
+      uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.5)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return std::string(buf);
+}
+
+}  // namespace shoremt

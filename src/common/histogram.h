@@ -1,0 +1,46 @@
+#ifndef SHOREMT_COMMON_HISTOGRAM_H_
+#define SHOREMT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shoremt {
+
+/// Log-bucketed latency histogram (nanosecond samples). Not thread safe;
+/// merge per-thread instances with Merge().
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample.
+  void Add(uint64_t value_ns);
+  /// Adds all samples from `other` into this histogram.
+  void Merge(const Histogram& other);
+  /// Forgets all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  /// Approximate p-quantile (e.g. 0.5, 0.99) from bucket interpolation.
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace shoremt
+
+#endif  // SHOREMT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,73 @@
+#ifndef SHOREMT_COMMON_RANDOM_H_
+#define SHOREMT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shoremt {
+
+/// Fast xorshift64* pseudo-random generator. Deterministic for a given
+/// seed; each worker thread owns one instance, so no synchronization.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed | 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// TPC-C style non-uniform random (NURand) over [x, y].
+  uint64_t NonUniform(uint64_t a, uint64_t x, uint64_t y) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + 42) % (y - x + 1)) + x;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian distribution over [0, n). Uses the Gray et al. rejection-free
+/// construction; skew theta in (0, 1) typical for OLTP hot-key modeling.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Draws one sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace shoremt
+
+#endif  // SHOREMT_COMMON_RANDOM_H_

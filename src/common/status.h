@@ -1,0 +1,153 @@
+#ifndef SHOREMT_COMMON_STATUS_H_
+#define SHOREMT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace shoremt {
+
+/// Error category carried by a Status. The set mirrors the failure modes a
+/// storage manager can surface to callers.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,         ///< Key / page / store does not exist.
+  kAlreadyExists,    ///< Attempt to create an object that exists.
+  kInvalidArgument,  ///< Caller passed an out-of-contract argument.
+  kCorruption,       ///< On-disk or in-memory structure failed validation.
+  kIOError,          ///< Underlying volume read/write failed.
+  kOutOfSpace,       ///< Volume or structure capacity exhausted.
+  kDeadlock,         ///< Lock request chosen as deadlock victim.
+  kTimeout,          ///< Lock or latch wait exceeded its budget.
+  kAborted,          ///< Transaction was rolled back.
+  kBusy,             ///< Resource transiently unavailable; retry.
+  kNotSupported,     ///< Operation not implemented for this configuration.
+  kInternal,         ///< Invariant violation inside the storage manager.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case (no
+/// allocation); error statuses carry a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(StatusCode::kOutOfSpace, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result: check ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK (an OK status without a
+  /// value would be unusable).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; undefined behaviour unless ok().
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T&& operator*() && { return std::move(value_); }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SHOREMT_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::shoremt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define SHOREMT_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value()
+#define SHOREMT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SHOREMT_ASSIGN_OR_RETURN_NAME(x, y) SHOREMT_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define SHOREMT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SHOREMT_ASSIGN_OR_RETURN_IMPL(             \
+      SHOREMT_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace shoremt
+
+#endif  // SHOREMT_COMMON_STATUS_H_

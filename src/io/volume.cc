@@ -1,0 +1,140 @@
+#include "io/volume.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace shoremt::io {
+
+namespace {
+void InjectLatency(uint64_t ns) {
+  if (ns == 0) return;
+  if (ns < 50'000) {
+    // Short latencies: spin on the clock (sleep granularity is too coarse).
+    uint64_t until = NowNanos() + ns;
+    while (NowNanos() < until) {
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+}
+}  // namespace
+
+MemVolume::MemVolume(VolumeOptions options) : options_(options) {}
+
+uint8_t* MemVolume::PagePtr(PageNum page) const {
+  return chunks_[page / kPagesPerChunk].get() +
+         (page % kPagesPerChunk) * kPageSize;
+}
+
+Status MemVolume::ReadPage(PageNum page, void* out) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    return Status::IOError("read past end of volume");
+  }
+  uint64_t t0 = NowNanos();
+  InjectLatency(options_.read_latency_ns);
+  std::memcpy(out, PagePtr(page), kPageSize);
+  CountRead(NowNanos() - t0);
+  return Status::Ok();
+}
+
+Status MemVolume::WritePage(PageNum page, const void* data) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    return Status::IOError("write past end of volume");
+  }
+  uint64_t t0 = NowNanos();
+  InjectLatency(options_.write_latency_ns);
+  std::memcpy(PagePtr(page), data, kPageSize);
+  CountWrite(NowNanos() - t0);
+  return Status::Ok();
+}
+
+PageNum MemVolume::NumPages() const {
+  return num_pages_.load(std::memory_order_acquire);
+}
+
+Status MemVolume::Extend(PageNum pages) {
+  std::lock_guard<std::mutex> guard(growth_mutex_);
+  PageNum current = num_pages_.load(std::memory_order_relaxed);
+  if (pages <= current) return Status::Ok();
+  size_t chunks_needed = (pages + kPagesPerChunk - 1) / kPagesPerChunk;
+  while (chunks_.size() < chunks_needed) {
+    auto chunk = std::make_unique<uint8_t[]>(kPagesPerChunk * kPageSize);
+    std::memset(chunk.get(), 0, kPagesPerChunk * kPageSize);
+    chunks_.push_back(std::move(chunk));
+  }
+  num_pages_.store(pages, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FileVolume>> FileVolume::Open(const std::string& path,
+                                                     VolumeOptions options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek: " + std::string(std::strerror(errno)));
+  }
+  auto pages = static_cast<PageNum>(size / kPageSize);
+  return std::unique_ptr<FileVolume>(new FileVolume(fd, pages, options));
+}
+
+FileVolume::~FileVolume() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileVolume::ReadPage(PageNum page, void* out) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    return Status::IOError("read past end of volume");
+  }
+  uint64_t t0 = NowNanos();
+  InjectLatency(options_.read_latency_ns);
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread returned " + std::to_string(n));
+  }
+  CountRead(NowNanos() - t0);
+  return Status::Ok();
+}
+
+Status FileVolume::WritePage(PageNum page, const void* data) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    return Status::IOError("write past end of volume");
+  }
+  uint64_t t0 = NowNanos();
+  InjectLatency(options_.write_latency_ns);
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite returned " + std::to_string(n));
+  }
+  CountWrite(NowNanos() - t0);
+  return Status::Ok();
+}
+
+PageNum FileVolume::NumPages() const {
+  return num_pages_.load(std::memory_order_acquire);
+}
+
+Status FileVolume::Extend(PageNum pages) {
+  std::lock_guard<std::mutex> guard(growth_mutex_);
+  PageNum current = num_pages_.load(std::memory_order_relaxed);
+  if (pages <= current) return Status::Ok();
+  if (::ftruncate(fd_, static_cast<off_t>(pages * kPageSize)) != 0) {
+    return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  num_pages_.store(pages, std::memory_order_release);
+  return Status::Ok();
+}
+
+}  // namespace shoremt::io

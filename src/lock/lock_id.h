@@ -1,0 +1,62 @@
+#ifndef SHOREMT_LOCK_LOCK_ID_H_
+#define SHOREMT_LOCK_LOCK_ID_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace shoremt::lock {
+
+/// Level of an object in the locking hierarchy: volume → store → record.
+/// (Like Shore-MT we lock rows, not pages; page integrity is the latch
+/// layer's job.)
+enum class LockLevel : uint8_t {
+  kVolume = 0,
+  kStore,
+  kRecord,
+};
+
+/// Identifier of a lockable object.
+struct LockId {
+  LockLevel level = LockLevel::kVolume;
+  StoreId store = kInvalidStoreId;
+  PageNum page = kInvalidPageNum;  ///< Record locks: the record's page.
+  uint16_t slot = 0;               ///< Record locks: the record's slot.
+
+  static LockId Volume() { return LockId{}; }
+  static LockId Store(StoreId s) {
+    return LockId{LockLevel::kStore, s, kInvalidPageNum, 0};
+  }
+  static LockId Record(StoreId s, RecordId rid) {
+    return LockId{LockLevel::kRecord, s, rid.page, rid.slot};
+  }
+
+  /// Parent object in the hierarchy (volume is its own parent).
+  LockId Parent() const {
+    switch (level) {
+      case LockLevel::kRecord:
+        return Store(store);
+      case LockLevel::kStore:
+      case LockLevel::kVolume:
+        return Volume();
+    }
+    return Volume();
+  }
+
+  friend bool operator==(const LockId&, const LockId&) = default;
+};
+
+struct LockIdHash {
+  size_t operator()(const LockId& id) const noexcept {
+    uint64_t h = static_cast<uint64_t>(id.level);
+    h = h * 0x9e3779b97f4a7c15ULL + id.store;
+    h = h * 0x9e3779b97f4a7c15ULL + id.page;
+    h = h * 0x9e3779b97f4a7c15ULL + id.slot;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace shoremt::lock
+
+#endif  // SHOREMT_LOCK_LOCK_ID_H_

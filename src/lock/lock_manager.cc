@@ -1,0 +1,249 @@
+#include "lock/lock_manager.h"
+
+#include <chrono>
+
+namespace shoremt::lock {
+
+LockManager::LockManager(LockOptions options)
+    : options_(options),
+      buckets_(options.buckets),
+      pool_(options.pool_kind, options.pool_capacity) {}
+
+bool LockManager::CompatibleWithGranted(const LockHead& head, LockMode mode,
+                                        uint32_t self) const {
+  for (uint32_t g : head.granted) {
+    if (g == self) continue;
+    if (!Compatible(pool_[g].mode, mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::ProcessQueue(Bucket& bucket, LockHead& head) {
+  // Strict FIFO with upgrade priority (upgrades are enqueued at the
+  // front): grant from the head of the queue until the first request that
+  // must keep waiting.
+  while (!head.waiting.empty()) {
+    uint32_t idx = head.waiting.front();
+    LockRequest& req = pool_[idx];
+    if (req.is_upgrade) {
+      // Find the requester's granted entry and try to strengthen it.
+      uint32_t self = UINT32_MAX;
+      for (uint32_t g : head.granted) {
+        if (pool_[g].txn == req.txn) {
+          self = g;
+          break;
+        }
+      }
+      if (self == UINT32_MAX) {
+        // Holder vanished (aborted): drop the stale upgrade request.
+        head.waiting.pop_front();
+        pool_.Release(idx);
+        continue;
+      }
+      if (!CompatibleWithGranted(head, req.convert_to, self)) return;
+      pool_[self].mode = req.convert_to;
+      head.waiting.pop_front();
+      req.granted = true;  // Waiter observes success and frees the slot.
+      continue;
+    }
+    if (!CompatibleWithGranted(head, req.mode, UINT32_MAX)) return;
+    head.waiting.pop_front();
+    req.granted = true;
+    head.granted.push_back(idx);
+  }
+}
+
+bool LockManager::Reaches(TxnId from, TxnId target,
+                          std::unordered_map<TxnId, int>* visited) const {
+  if (from == target) return true;
+  auto [it, inserted] = visited->emplace(from, 1);
+  if (!inserted) return false;  // Already explored.
+  auto edges = waits_for_.find(from);
+  if (edges == waits_for_.end()) return false;
+  for (TxnId next : edges->second) {
+    if (Reaches(next, target, visited)) return true;
+  }
+  return false;
+}
+
+bool LockManager::AddWaitEdges(TxnId waiter, const LockHead& head,
+                               uint32_t self) {
+  std::lock_guard<std::mutex> guard(wfg_mutex_);
+  std::vector<TxnId> holders;
+  for (uint32_t g : head.granted) {
+    if (g == self) continue;
+    TxnId holder = pool_[g].txn;
+    if (holder != waiter) holders.push_back(holder);
+  }
+  // Would any holder (transitively) wait on us? Then this edge closes a
+  // cycle and the requester is the victim.
+  for (TxnId holder : holders) {
+    std::unordered_map<TxnId, int> visited;
+    if (Reaches(holder, waiter, &visited)) {
+      stats_.cycles_detected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  waits_for_[waiter] = std::move(holders);
+  return true;
+}
+
+void LockManager::RemoveWaitEdges(TxnId waiter) {
+  std::lock_guard<std::mutex> guard(wfg_mutex_);
+  waits_for_.erase(waiter);
+}
+
+Status LockManager::Lock(TxnId txn, const LockId& id, LockMode mode) {
+  if (txn == kInvalidTxnId || mode == LockMode::kNone) {
+    return Status::InvalidArgument("bad lock request");
+  }
+  Bucket& bucket = BucketFor(id);
+  std::unique_lock<std::mutex> lk(MutexFor(bucket));
+  LockHead& head = bucket.heads[id];
+  head.id = id;
+
+  // Re-request or upgrade?
+  for (uint32_t g : head.granted) {
+    if (pool_[g].txn != txn) continue;
+    LockMode needed = Supremum(pool_[g].mode, mode);
+    if (needed == pool_[g].mode) {
+      stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    if (head.waiting.empty() && CompatibleWithGranted(head, needed, g)) {
+      pool_[g].mode = needed;
+      stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    // Upgrade must wait — at the front of the queue, ahead of new locks.
+    auto slot = pool_.Acquire();
+    if (!slot) return Status::Busy("lock request pool exhausted");
+    LockRequest& req = pool_[*slot];
+    req.txn = txn;
+    req.mode = pool_[g].mode;
+    req.convert_to = needed;
+    req.is_upgrade = true;
+    head.waiting.push_front(*slot);
+    stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph &&
+        !AddWaitEdges(txn, head, g)) {
+      head.waiting.pop_front();
+      pool_.Release(*slot);
+      return Status::Deadlock("waits-for cycle (upgrade victim)");
+    }
+    bool granted = bucket.cv.wait_for(
+        lk, std::chrono::microseconds(options_.timeout_us),
+        [&] { return pool_[*slot].granted; });
+    if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph) {
+      RemoveWaitEdges(txn);
+    }
+    if (granted) {
+      pool_.Release(*slot);
+      stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    for (size_t i = 0; i < head.waiting.size(); ++i) {
+      if (head.waiting[i] == *slot) {
+        head.waiting.erase(head.waiting.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    pool_.Release(*slot);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    // Our queue slot may have been blocking others; re-drain and wake.
+    ProcessQueue(bucket, head);
+    bucket.cv.notify_all();
+    return Status::Deadlock("upgrade timed out (deadlock victim)");
+  }
+
+  // Fresh request.
+  auto slot = pool_.Acquire();
+  if (!slot) return Status::Busy("lock request pool exhausted");
+  LockRequest& req = pool_[*slot];
+  req.txn = txn;
+  req.mode = mode;
+  if (head.waiting.empty() && CompatibleWithGranted(head, mode, UINT32_MAX)) {
+    req.granted = true;
+    head.granted.push_back(*slot);
+    stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  head.waiting.push_back(*slot);
+  stats_.waits.fetch_add(1, std::memory_order_relaxed);
+  if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph &&
+      !AddWaitEdges(txn, head, UINT32_MAX)) {
+    head.waiting.pop_back();
+    pool_.Release(*slot);
+    return Status::Deadlock("waits-for cycle (victim)");
+  }
+  bool granted =
+      bucket.cv.wait_for(lk, std::chrono::microseconds(options_.timeout_us),
+                         [&] { return pool_[*slot].granted; });
+  if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph) {
+    RemoveWaitEdges(txn);
+  }
+  if (granted) {
+    stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  for (size_t i = 0; i < head.waiting.size(); ++i) {
+    if (head.waiting[i] == *slot) {
+      head.waiting.erase(head.waiting.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  pool_.Release(*slot);
+  stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  ProcessQueue(bucket, head);
+  bucket.cv.notify_all();
+  return Status::Deadlock("lock wait timed out (deadlock victim)");
+}
+
+Status LockManager::Unlock(TxnId txn, const LockId& id) {
+  Bucket& bucket = BucketFor(id);
+  std::unique_lock<std::mutex> lk(MutexFor(bucket));
+  auto it = bucket.heads.find(id);
+  if (it == bucket.heads.end()) return Status::NotFound("object not locked");
+  LockHead& head = it->second;
+  bool removed = false;
+  for (size_t i = 0; i < head.granted.size(); ++i) {
+    if (pool_[head.granted[i]].txn == txn) {
+      pool_.Release(head.granted[i]);
+      head.granted.erase(head.granted.begin() + static_cast<long>(i));
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) return Status::NotFound("txn holds no lock on object");
+  stats_.releases.fetch_add(1, std::memory_order_relaxed);
+  ProcessQueue(bucket, head);
+  if (head.granted.empty() && head.waiting.empty()) {
+    bucket.heads.erase(it);
+  }
+  bucket.cv.notify_all();
+  return Status::Ok();
+}
+
+LockMode LockManager::HeldMode(TxnId txn, const LockId& id) const {
+  auto& self = const_cast<LockManager&>(*this);
+  Bucket& bucket = self.BucketFor(id);
+  std::unique_lock<std::mutex> lk(self.MutexFor(bucket));
+  auto it = bucket.heads.find(id);
+  if (it == bucket.heads.end()) return LockMode::kNone;
+  for (uint32_t g : it->second.granted) {
+    if (pool_[g].txn == txn) return pool_[g].mode;
+  }
+  return LockMode::kNone;
+}
+
+size_t LockManager::LockedObjectCount() const {
+  auto& self = const_cast<LockManager&>(*this);
+  size_t n = 0;
+  for (Bucket& b : self.buckets_) {
+    std::unique_lock<std::mutex> lk(self.MutexFor(b));
+    n += b.heads.size();
+  }
+  return n;
+}
+
+}  // namespace shoremt::lock

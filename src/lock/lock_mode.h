@@ -1,0 +1,89 @@
+#ifndef SHOREMT_LOCK_LOCK_MODE_H_
+#define SHOREMT_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace shoremt::lock {
+
+/// Hierarchical lock modes (§2.2.3). Intention modes (IS/IX) are taken on
+/// ancestors of the actually-locked object; SIX = S + IX (read all, write
+/// some).
+enum class LockMode : uint8_t {
+  kNone = 0,
+  kIS,
+  kIX,
+  kS,
+  kSIX,
+  kX,
+};
+
+/// True when a holder in `held` coexists with a requester in `requested`.
+constexpr bool Compatible(LockMode held, LockMode requested) {
+  // Standard multigranularity compatibility matrix.
+  constexpr bool kCompat[6][6] = {
+      // held\req none   IS     IX     S      SIX    X
+      /* none */ {true, true, true, true, true, true},
+      /* IS  */ {true, true, true, true, true, false},
+      /* IX  */ {true, true, true, false, false, false},
+      /* S   */ {true, true, false, true, false, false},
+      /* SIX */ {true, true, false, false, false, false},
+      /* X   */ {true, false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+/// Least upper bound of two modes (the mode an upgrade must reach).
+constexpr LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  // Order by strength where a chain exists; S and IX join at SIX.
+  auto rank = [](LockMode m) {
+    switch (m) {
+      case LockMode::kNone: return 0;
+      case LockMode::kIS: return 1;
+      case LockMode::kIX: return 2;
+      case LockMode::kS: return 2;
+      case LockMode::kSIX: return 3;
+      case LockMode::kX: return 4;
+    }
+    return 0;
+  };
+  if ((a == LockMode::kS && b == LockMode::kIX) ||
+      (a == LockMode::kIX && b == LockMode::kS)) {
+    return LockMode::kSIX;
+  }
+  if (rank(a) == rank(b)) return LockMode::kSIX;  // S vs IX handled above.
+  return rank(a) > rank(b) ? a : b;
+}
+
+/// The intention mode an ancestor must hold for a child locked in `mode`.
+constexpr LockMode IntentionFor(LockMode mode) {
+  switch (mode) {
+    case LockMode::kS:
+    case LockMode::kIS:
+      return LockMode::kIS;
+    case LockMode::kX:
+    case LockMode::kIX:
+    case LockMode::kSIX:
+      return LockMode::kIX;
+    case LockMode::kNone:
+      return LockMode::kNone;
+  }
+  return LockMode::kNone;
+}
+
+constexpr std::string_view LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNone: return "N";
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+}  // namespace shoremt::lock
+
+#endif  // SHOREMT_LOCK_LOCK_MODE_H_

@@ -1,0 +1,290 @@
+#include "log/log_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "sync/backoff.h"
+
+namespace shoremt::log {
+
+namespace {
+
+// -------------------------------------------------------------- kMutex ----
+
+/// Original Shore's log buffer: one mutex over everything, non-circular
+/// buffer, synchronous flush when full, and a daemon-wakeup mutex poked on
+/// every insert (§6.2.4: "log inserts occasionally acquire a blocking
+/// mutex in order to wake checkpoint and flush threads").
+class MutexLogBuffer : public LogBuffer {
+ public:
+  MutexLogBuffer(LogStorage* storage, size_t capacity)
+      : LogBuffer(storage), buffer_(capacity) {
+    base_ = storage->size();
+  }
+
+  Result<Appended> Append(std::span<const uint8_t> rec,
+                          bool compensation) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (rec.size() > buffer_.size()) {
+      return Status::InvalidArgument("record larger than log buffer");
+    }
+    if (head_ + rec.size() > buffer_.size()) {
+      SHOREMT_RETURN_NOT_OK(FlushLocked());  // Stalls this and all inserters.
+    }
+    std::memcpy(buffer_.data() + head_, rec.data(), rec.size());
+    uint64_t start = base_ + head_;
+    head_ += rec.size();
+    {
+      // Daemon wakeup on the insert critical path (baseline bottleneck).
+      std::lock_guard<std::mutex> wake(daemon_mutex_);
+      ++daemon_pokes_;
+    }
+    return Appended{Lsn{start + 1}, Lsn{start + rec.size() + 1}};
+  }
+
+  Status FlushTo(Lsn upto) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (durable_lsn() >= upto) return Status::Ok();
+    return FlushLocked();
+  }
+
+  Lsn next_lsn() const override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return Lsn{base_ + head_ + 1};
+  }
+
+ private:
+  Status FlushLocked() {
+    if (head_ == 0) return Status::Ok();
+    SHOREMT_RETURN_NOT_OK(
+        storage_->Append({buffer_.data(), head_}));
+    base_ += head_;
+    head_ = 0;
+    return Status::Ok();
+  }
+
+  mutable std::mutex mutex_;
+  std::mutex daemon_mutex_;
+  uint64_t daemon_pokes_ = 0;
+  std::vector<uint8_t> buffer_;
+  uint64_t base_ = 0;  ///< Log-space offset of buffer_[0].
+  size_t head_ = 0;    ///< Bytes used in buffer_.
+};
+
+// ---------------------------------------------------------- kDecoupled ----
+
+/// Circular buffer with insert and flush decoupled (§6.2.2 problem 2).
+/// Inserts claim + copy under a light-weight queueing mutex; flushing
+/// drains [durable, head) under its own blocking mutex so a slow flush no
+/// longer stalls inserts (unless the ring truly fills).
+class DecoupledLogBuffer : public LogBuffer {
+ public:
+  DecoupledLogBuffer(LogStorage* storage, size_t capacity)
+      : LogBuffer(storage), ring_(capacity) {
+    head_.store(storage->size(), std::memory_order_relaxed);
+  }
+
+  Result<Appended> Append(std::span<const uint8_t> rec,
+                          bool compensation) override {
+    if (rec.size() > ring_.size() / 2) {
+      return Status::InvalidArgument("record larger than log buffer");
+    }
+    std::lock_guard<sync::HybridMutex> guard(insert_mutex_);
+    uint64_t start = head_.load(std::memory_order_relaxed);
+    // Cached-tail space check: only consult the (shared) durable counter
+    // when the cheap check fails, then flush ourselves if truly full.
+    while (start + rec.size() - storage_->size() > ring_.size()) {
+      SHOREMT_RETURN_NOT_OK(FlushTo(Lsn{start + 1}));
+    }
+    CopyIn(start, rec);
+    head_.store(start + rec.size(), std::memory_order_release);
+    return Appended{Lsn{start + 1}, Lsn{start + rec.size() + 1}};
+  }
+
+  Status FlushTo(Lsn upto) override {
+    std::unique_lock<std::mutex> lk(flush_mutex_);
+    while (durable_lsn() < upto) {
+      if (!flushing_) {
+        flushing_ = true;
+        uint64_t target = head_.load(std::memory_order_acquire);
+        lk.unlock();
+        Status st = DrainTo(target);  // Group commit: flush all complete.
+        lk.lock();
+        flushing_ = false;
+        flush_cv_.notify_all();
+        SHOREMT_RETURN_NOT_OK(st);
+      } else {
+        flush_cv_.wait(lk);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Lsn next_lsn() const override {
+    return Lsn{head_.load(std::memory_order_acquire) + 1};
+  }
+
+ private:
+  void CopyIn(uint64_t offset, std::span<const uint8_t> rec) {
+    size_t pos = offset % ring_.size();
+    size_t first = std::min(rec.size(), ring_.size() - pos);
+    std::memcpy(ring_.data() + pos, rec.data(), first);
+    if (first < rec.size()) {
+      std::memcpy(ring_.data(), rec.data() + first, rec.size() - first);
+    }
+  }
+
+  Status DrainTo(uint64_t target) {
+    uint64_t from = storage_->size();
+    if (target <= from) return Status::Ok();
+    size_t len = target - from;
+    scratch_.resize(len);
+    size_t pos = from % ring_.size();
+    size_t first = std::min(len, ring_.size() - pos);
+    std::memcpy(scratch_.data(), ring_.data() + pos, first);
+    if (first < len) {
+      std::memcpy(scratch_.data() + first, ring_.data(), len - first);
+    }
+    return storage_->Append(scratch_);
+  }
+
+  std::vector<uint8_t> ring_;
+  sync::HybridMutex insert_mutex_;
+  std::atomic<uint64_t> head_{0};
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  bool flushing_ = false;
+  std::vector<uint8_t> scratch_;  // Guarded by the flushing_ token.
+};
+
+// ------------------------------------------------------- kConsolidated ----
+
+/// Shore-MT's final design (§6.2.4): the insert critical section shrinks
+/// to claiming buffer space — one atomic compare-and-swap, the moral
+/// equivalent of the extended MCS queue handing the insert offset from
+/// thread to thread. Threads then copy their records into the ring in
+/// parallel and publish completion in LSN order so the flusher never
+/// writes a hole.
+class ConsolidatedLogBuffer : public LogBuffer {
+ public:
+  ConsolidatedLogBuffer(LogStorage* storage, size_t capacity)
+      : LogBuffer(storage), ring_(capacity) {
+    uint64_t base = storage->size();
+    head_.store(base, std::memory_order_relaxed);
+    completed_.store(base, std::memory_order_relaxed);
+  }
+
+  Result<Appended> Append(std::span<const uint8_t> rec,
+                          bool compensation) override {
+    if (rec.size() > ring_.size() / 2) {
+      return Status::InvalidArgument("record larger than log buffer");
+    }
+    // Claim: the only serialized step.
+    uint64_t start = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (start + rec.size() - storage_->size() > ring_.size()) {
+        // Ring full: help drain (completed prefix only), then retry.
+        SHOREMT_RETURN_NOT_OK(FlushTo(Lsn{storage_->size() + 2}));
+        start = head_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (head_.compare_exchange_weak(start, start + rec.size(),
+                                      std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+    // Parallel copy outside any critical section.
+    size_t pos = start % ring_.size();
+    size_t first = std::min(rec.size(), ring_.size() - pos);
+    std::memcpy(ring_.data() + pos, rec.data(), first);
+    if (first < rec.size()) {
+      std::memcpy(ring_.data(), rec.data() + first, rec.size() - first);
+    }
+    // Ordered completion hand-off (our queue node equivalent): wait for
+    // the predecessor to publish, then publish our end offset. Yield
+    // aggressively: the predecessor may need this CPU to finish its copy
+    // (matters on hosts with few hardware contexts).
+    int spins = 0;
+    while (completed_.load(std::memory_order_acquire) != start) {
+      if (++spins < 16) {
+        sync::CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    completed_.store(start + rec.size(), std::memory_order_release);
+    return Appended{Lsn{start + 1}, Lsn{start + rec.size() + 1}};
+  }
+
+  Status FlushTo(Lsn upto) override {
+    std::unique_lock<std::mutex> lk(flush_mutex_);
+    while (durable_lsn() < upto) {
+      if (!flushing_) {
+        flushing_ = true;
+        uint64_t target = completed_.load(std::memory_order_acquire);
+        lk.unlock();
+        Status st = DrainTo(target);
+        lk.lock();
+        flushing_ = false;
+        flush_cv_.notify_all();
+        SHOREMT_RETURN_NOT_OK(st);
+        // If `upto` is still not durable the bytes were not completed yet;
+        // yield so the in-flight copiers can finish, then flush again.
+        if (durable_lsn() < upto) {
+          lk.unlock();
+          std::this_thread::yield();
+          lk.lock();
+        }
+      } else {
+        flush_cv_.wait(lk);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Lsn next_lsn() const override {
+    return Lsn{head_.load(std::memory_order_acquire) + 1};
+  }
+
+ private:
+  Status DrainTo(uint64_t target) {
+    uint64_t from = storage_->size();
+    if (target <= from) return Status::Ok();
+    size_t len = target - from;
+    scratch_.resize(len);
+    size_t pos = from % ring_.size();
+    size_t first = std::min(len, ring_.size() - pos);
+    std::memcpy(scratch_.data(), ring_.data() + pos, first);
+    if (first < len) {
+      std::memcpy(scratch_.data() + first, ring_.data(), len - first);
+    }
+    return storage_->Append(scratch_);
+  }
+
+  std::vector<uint8_t> ring_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  bool flushing_ = false;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogBuffer> MakeLogBuffer(LogBufferKind kind,
+                                         LogStorage* storage,
+                                         size_t capacity) {
+  switch (kind) {
+    case LogBufferKind::kMutex:
+      return std::make_unique<MutexLogBuffer>(storage, capacity);
+    case LogBufferKind::kDecoupled:
+      return std::make_unique<DecoupledLogBuffer>(storage, capacity);
+    case LogBufferKind::kConsolidated:
+      return std::make_unique<ConsolidatedLogBuffer>(storage, capacity);
+  }
+  return nullptr;
+}
+
+}  // namespace shoremt::log

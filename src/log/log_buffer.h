@@ -1,0 +1,74 @@
+#ifndef SHOREMT_LOG_LOG_BUFFER_H_
+#define SHOREMT_LOG_LOG_BUFFER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/log_storage.h"
+#include "sync/hybrid_mutex.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::log {
+
+/// Which log buffer implementation to use — the §6.2.2/§6.2.4/§7.4 story:
+enum class LogBufferKind : uint8_t {
+  /// Original Shore: one mutex over a non-circular buffer; a full buffer
+  /// triggers a synchronous flush that stalls every inserter; each insert
+  /// also pokes the daemon wakeup mutex.
+  kMutex,
+  /// Circular buffer with separate insert/compensation/flush critical
+  /// sections; flushes no longer stall inserts unless the ring is full.
+  kDecoupled,
+  /// Insert serialization reduced to claiming buffer space (an atomic
+  /// hand-off, the moral equivalent of the extended MCS queue of §6.2.4);
+  /// threads copy their records in parallel after the claim.
+  kConsolidated,
+};
+
+/// Outcome of appending one record.
+struct Appended {
+  Lsn lsn;  ///< Start LSN (locates the record for undo chains).
+  Lsn end;  ///< End LSN (what page LSNs store; flush targets).
+};
+
+/// In-memory staging buffer between log producers and the durable
+/// LogStorage. LSNs are byte offsets + 1 in the storage stream.
+class LogBuffer {
+ public:
+  virtual ~LogBuffer() = default;
+
+  /// Appends a serialized record; `compensation` marks CLR traffic (kept
+  /// as a separate logical operation per §6.2.2, although this
+  /// implementation routes both through the insert path).
+  virtual Result<Appended> Append(std::span<const uint8_t> rec,
+                                  bool compensation) = 0;
+
+  /// Blocks until every byte below `upto` is durable.
+  virtual Status FlushTo(Lsn upto) = 0;
+
+  /// All records with end ≤ durable_lsn() survive a crash.
+  Lsn durable_lsn() const { return Lsn{storage_->size() + 1}; }
+  /// LSN the next append will receive.
+  virtual Lsn next_lsn() const = 0;
+
+  LogStorage* storage() { return storage_; }
+
+ protected:
+  explicit LogBuffer(LogStorage* storage) : storage_(storage) {}
+  LogStorage* storage_;
+};
+
+std::unique_ptr<LogBuffer> MakeLogBuffer(LogBufferKind kind,
+                                         LogStorage* storage,
+                                         size_t capacity);
+
+}  // namespace shoremt::log
+
+#endif  // SHOREMT_LOG_LOG_BUFFER_H_

@@ -1,0 +1,85 @@
+#ifndef SHOREMT_LOG_LOG_MANAGER_H_
+#define SHOREMT_LOG_LOG_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/log_buffer.h"
+#include "log/log_record.h"
+#include "log/log_storage.h"
+
+namespace shoremt::log {
+
+/// Log manager configuration; defaults = Shore-MT "final".
+struct LogOptions {
+  LogBufferKind buffer_kind = LogBufferKind::kConsolidated;
+  size_t buffer_capacity = 1 << 22;  // 4 MiB ring.
+  /// Background flush daemon (group commit helper). Off by default: tests
+  /// drive flushes explicitly; the storage manager turns it on.
+  bool flush_daemon = false;
+  uint64_t flush_interval_us = 1000;
+};
+
+/// Per-manager counters.
+struct LogStats {
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> compensations{0};
+  std::atomic<uint64_t> flush_waits{0};
+};
+
+/// The log manager (§2.2.4): serializes WAL records into the staging
+/// buffer, enforces durability on commit, and replays the durable stream
+/// for recovery. The buffer implementation is the §7.4 staging knob.
+class LogManager {
+ public:
+  /// `storage` must outlive the manager (it is the durable artifact that
+  /// survives simulated crashes/restarts).
+  LogManager(LogStorage* storage, LogOptions options);
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Appends `rec`; returns its start/end LSNs.
+  Result<Appended> Append(const LogRecord& rec);
+  /// Appends a compensation (CLR) record.
+  Result<Appended> AppendClr(const LogRecord& rec);
+
+  /// Makes everything below `upto` durable (commit / WAL barrier).
+  Status FlushTo(Lsn upto);
+  /// Flushes everything appended so far.
+  Status FlushAll();
+
+  Lsn durable_lsn() const { return buffer_->durable_lsn(); }
+  Lsn next_lsn() const { return buffer_->next_lsn(); }
+
+  /// Reads the record starting at `lsn` from the durable log (undo path).
+  Result<LogRecord> ReadRecord(Lsn lsn) const;
+
+  /// Iterates every durable record in LSN order; the callback receives
+  /// each record with `lsn` and computed end LSN filled in. Stops early on
+  /// callback error.
+  Status Scan(const std::function<Status(const LogRecord&, Lsn end)>& fn,
+              Lsn from = Lsn{1}) const;
+
+  const LogStats& stats() const { return stats_; }
+  LogStorage* storage() { return storage_; }
+
+ private:
+  LogStorage* storage_;
+  LogOptions options_;
+  std::unique_ptr<LogBuffer> buffer_;
+  LogStats stats_;
+  std::atomic<bool> stop_daemon_{false};
+  std::thread daemon_;
+};
+
+}  // namespace shoremt::log
+
+#endif  // SHOREMT_LOG_LOG_MANAGER_H_

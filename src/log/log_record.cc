@@ -1,0 +1,119 @@
+#include "log/log_record.h"
+
+#include <cstring>
+
+namespace shoremt::log {
+
+namespace {
+
+// Fixed header layout (little-endian / host order; the log is not a
+// portable artifact, matching the original system).
+//   u32 total_len | u8 type | u8 page_type | u16 slot
+//   u64 txn | u64 prev_lsn | u64 undo_next | u64 page
+//   u32 store | u32 before_len | u32 after_len
+constexpr size_t kHeaderSize = 4 + 1 + 1 + 2 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool Get(std::span<const uint8_t> data, size_t* off, T* value) {
+  if (*off + sizeof(T) > data.size()) return false;
+  std::memcpy(value, data.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+size_t LogRecord::SerializedSize() const {
+  return kHeaderSize + before.size() + after.size();
+}
+
+void SerializeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(rec.SerializedSize());
+  Put<uint32_t>(out, static_cast<uint32_t>(rec.SerializedSize()));
+  Put<uint8_t>(out, static_cast<uint8_t>(rec.type));
+  Put<uint8_t>(out, rec.page_type);
+  Put<uint16_t>(out, rec.slot);
+  Put<uint64_t>(out, rec.txn);
+  Put<uint64_t>(out, rec.prev_lsn.value);
+  Put<uint64_t>(out, rec.undo_next.value);
+  Put<uint64_t>(out, rec.page);
+  Put<uint32_t>(out, rec.store);
+  Put<uint32_t>(out, static_cast<uint32_t>(rec.before.size()));
+  Put<uint32_t>(out, static_cast<uint32_t>(rec.after.size()));
+  out->insert(out->end(), rec.before.begin(), rec.before.end());
+  out->insert(out->end(), rec.after.begin(), rec.after.end());
+}
+
+Status DeserializeLogRecord(std::span<const uint8_t> data, LogRecord* rec,
+                            size_t* consumed) {
+  size_t off = 0;
+  uint32_t total_len;
+  uint8_t type;
+  uint32_t before_len;
+  uint32_t after_len;
+  uint64_t txn, prev, undo, page;
+  uint32_t store;
+  if (!Get(data, &off, &total_len) || !Get(data, &off, &type) ||
+      !Get(data, &off, &rec->page_type) || !Get(data, &off, &rec->slot) ||
+      !Get(data, &off, &txn) || !Get(data, &off, &prev) ||
+      !Get(data, &off, &undo) || !Get(data, &off, &page) ||
+      !Get(data, &off, &store) || !Get(data, &off, &before_len) ||
+      !Get(data, &off, &after_len)) {
+    return Status::Corruption("truncated log record header");
+  }
+  if (total_len != kHeaderSize + before_len + after_len ||
+      total_len > data.size()) {
+    return Status::Corruption("log record length mismatch");
+  }
+  rec->type = static_cast<LogRecordType>(type);
+  rec->txn = txn;
+  rec->prev_lsn = Lsn{prev};
+  rec->undo_next = Lsn{undo};
+  rec->page = page;
+  rec->store = store;
+  rec->before.assign(data.begin() + off, data.begin() + off + before_len);
+  off += before_len;
+  rec->after.assign(data.begin() + off, data.begin() + off + after_len);
+  *consumed = total_len;
+  return Status::Ok();
+}
+
+void SerializeCheckpoint(const CheckpointBody& body,
+                         std::vector<uint8_t>* out) {
+  out->clear();
+  Put<uint64_t>(out, body.redo_lsn.value);
+  Put<uint32_t>(out, static_cast<uint32_t>(body.active_txns.size()));
+  for (const auto& [txn, last] : body.active_txns) {
+    Put<uint64_t>(out, txn);
+    Put<uint64_t>(out, last.value);
+  }
+}
+
+Status DeserializeCheckpoint(std::span<const uint8_t> data,
+                             CheckpointBody* body) {
+  size_t off = 0;
+  uint64_t redo;
+  uint32_t count;
+  if (!Get(data, &off, &redo) || !Get(data, &off, &count)) {
+    return Status::Corruption("truncated checkpoint body");
+  }
+  body->redo_lsn = Lsn{redo};
+  body->active_txns.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t txn, last;
+    if (!Get(data, &off, &txn) || !Get(data, &off, &last)) {
+      return Status::Corruption("truncated checkpoint txn table");
+    }
+    body->active_txns.emplace_back(txn, Lsn{last});
+  }
+  return Status::Ok();
+}
+
+}  // namespace shoremt::log

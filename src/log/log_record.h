@@ -1,0 +1,77 @@
+#ifndef SHOREMT_LOG_LOG_RECORD_H_
+#define SHOREMT_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace shoremt::log {
+
+/// Write-ahead log record kinds. Page-level physical records carry before/
+/// after images for idempotent redo (guarded by page LSN) and logical undo.
+enum class LogRecordType : uint8_t {
+  kNoop = 0,
+  kPageFormat,   ///< Page formatted/initialized for a store.
+  kPageInsert,   ///< Record inserted: after = payload.
+  kPageUpdate,   ///< Record updated: before/after = old/new payload.
+  kPageDelete,   ///< Record deleted: before = old payload.
+  kAllocPage,    ///< Free-space map: page allocated to store.
+  kCreateStore,  ///< Store directory: store created.
+  kCommit,       ///< Transaction committed (forces a flush).
+  kAbort,        ///< Transaction rollback completed.
+  kClr,          ///< Compensation record: an undo step was applied.
+  kCheckpoint,   ///< Fuzzy checkpoint: payload = CheckpointBody.
+  // B+Tree physiological records (§ARIES-style: page-oriented redo,
+  // logical undo within the page).
+  kBtreeInsert,      ///< after = packed {key,value} entry added to a node.
+  kBtreeDelete,      ///< before = packed {key,value} entry removed.
+  kBtreeSetContent,  ///< after = full node content (splits; redo-only,
+                     ///< structure changes are never undone).
+  kCatalog,          ///< after = serialized catalog entry (table created).
+};
+
+/// In-memory form of a WAL record.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kNoop;
+  TxnId txn = kInvalidTxnId;
+  Lsn prev_lsn;       ///< Previous record of the same transaction (undo chain).
+  Lsn undo_next;      ///< CLR only: next record to undo.
+  PageNum page = kInvalidPageNum;
+  StoreId store = kInvalidStoreId;
+  uint16_t slot = 0;
+  uint8_t page_type = 0;  ///< kPageFormat only: page::PageType value.
+  std::vector<uint8_t> before;
+  std::vector<uint8_t> after;
+
+  /// Set when read back from the log.
+  Lsn lsn;
+
+  /// Serialized size in bytes.
+  size_t SerializedSize() const;
+};
+
+/// Serializes `rec` to `out` (resized to fit). Format is length-prefixed so
+/// the log can be scanned forward.
+void SerializeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out);
+
+/// Parses one record starting at `data`. On success fills `rec` (except
+/// lsn) and sets `consumed` to the record's total length.
+Status DeserializeLogRecord(std::span<const uint8_t> data, LogRecord* rec,
+                            size_t* consumed);
+
+/// Payload of a kCheckpoint record.
+struct CheckpointBody {
+  Lsn redo_lsn;  ///< Redo scan start (min dirty rec_lsn / cleaner LSN).
+  std::vector<std::pair<TxnId, Lsn>> active_txns;  ///< id → last LSN.
+};
+
+void SerializeCheckpoint(const CheckpointBody& body, std::vector<uint8_t>* out);
+Status DeserializeCheckpoint(std::span<const uint8_t> data,
+                             CheckpointBody* body);
+
+}  // namespace shoremt::log
+
+#endif  // SHOREMT_LOG_LOG_RECORD_H_

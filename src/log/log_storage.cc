@@ -1,0 +1,44 @@
+#include "log/log_storage.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace shoremt::log {
+
+Status LogStorage::Append(std::span<const uint8_t> data) {
+  flush_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (append_latency_ns_ > 0) {
+    if (append_latency_ns_ < 50'000) {
+      uint64_t until = NowNanos() + append_latency_ns_;
+      while (NowNanos() < until) {
+      }
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(append_latency_ns_));
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+  size_.store(bytes_.size(), std::memory_order_release);
+  return Status::Ok();
+}
+
+Status LogStorage::Read(uint64_t offset, size_t len,
+                        std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (offset + len > bytes_.size()) {
+    return Status::IOError("log read past durable end");
+  }
+  out->assign(bytes_.begin() + static_cast<long>(offset),
+              bytes_.begin() + static_cast<long>(offset + len));
+  return Status::Ok();
+}
+
+std::vector<uint8_t> LogStorage::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return bytes_;
+}
+
+}  // namespace shoremt::log

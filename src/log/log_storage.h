@@ -1,0 +1,58 @@
+#ifndef SHOREMT_LOG_LOG_STORAGE_H_
+#define SHOREMT_LOG_LOG_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace shoremt::log {
+
+/// The durable log device: an append-only byte stream. LSNs are byte
+/// offsets + 1 (so LSN 0 stays "null"). The paper's testbed kept the log
+/// on an in-memory filesystem; `append_latency_ns` models a slower device
+/// per flush *call* (not per byte), which is what makes group commit pay.
+///
+/// A LogStorage outlives the LogManager attached to it — restart/recovery
+/// tests attach a fresh LogManager to the old storage, and anything that
+/// was never flushed here is what a crash loses.
+class LogStorage {
+ public:
+  explicit LogStorage(uint64_t append_latency_ns = 0)
+      : append_latency_ns_(append_latency_ns) {}
+
+  LogStorage(const LogStorage&) = delete;
+  LogStorage& operator=(const LogStorage&) = delete;
+
+  /// Appends `data` durably. Must be called in LSN order (the log buffer's
+  /// flusher guarantees this).
+  Status Append(std::span<const uint8_t> data);
+
+  /// Bytes durably stored; durable LSN = size() + 1.
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Copies out the byte range [offset, offset+len) of the durable log.
+  Status Read(uint64_t offset, size_t len, std::vector<uint8_t>* out) const;
+
+  /// Snapshot of the entire durable log (recovery scan).
+  std::vector<uint8_t> Snapshot() const;
+
+  uint64_t flush_calls() const {
+    return flush_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t append_latency_ns_;
+  mutable std::mutex mutex_;
+  std::vector<uint8_t> bytes_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> flush_calls_{0};
+};
+
+}  // namespace shoremt::log
+
+#endif  // SHOREMT_LOG_LOG_STORAGE_H_

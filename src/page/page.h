@@ -1,0 +1,76 @@
+#ifndef SHOREMT_PAGE_PAGE_H_
+#define SHOREMT_PAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace shoremt::page {
+
+/// Role of a page within the volume.
+enum class PageType : uint8_t {
+  kFree = 0,       ///< Unallocated.
+  kVolumeHeader,   ///< Page 0: volume metadata.
+  kStoreDirectory, ///< Serialized store directory / extent map.
+  kData,           ///< Heap data page (slotted records).
+  kBTreeLeaf,      ///< B+Tree leaf node.
+  kBTreeInternal,  ///< B+Tree internal node.
+};
+
+/// Fixed header at the start of every page. Plain bytes so a page image is
+/// directly serializable; all multi-byte fields are host-endian (volumes
+/// are not portable across endianness, as in the original Shore).
+struct PageHeader {
+  uint32_t magic;          ///< kPageMagic; guards against stray buffers.
+  PageType type;           ///< Page role.
+  uint8_t reserved;        ///< Padding.
+  uint16_t slot_count;     ///< Number of slot directory entries.
+  PageNum page_num;        ///< Self page number (integrity checking).
+  StoreId store;           ///< Owning store, kInvalidStoreId if none.
+  uint32_t free_begin;     ///< Offset where record heap space begins.
+  uint64_t page_lsn;       ///< LSN of the last update applied (WAL rule).
+  PageNum next_page;       ///< Intra-store page chain (heap file order).
+  PageNum prev_page;       ///< Back link of the chain.
+};
+
+inline constexpr uint32_t kPageMagic = 0x53484f52;  // "SHOR"
+static_assert(sizeof(PageHeader) == 48, "header layout is part of the format");
+
+/// Usable bytes after the header.
+inline constexpr size_t kPagePayload = kPageSize - sizeof(PageHeader);
+
+/// Accessors for a raw page image. The buffer must be kPageSize bytes and
+/// suitably aligned (frames in the buffer pool guarantee this).
+inline PageHeader* HeaderOf(void* data) {
+  return static_cast<PageHeader*>(data);
+}
+inline const PageHeader* HeaderOf(const void* data) {
+  return static_cast<const PageHeader*>(data);
+}
+
+/// Zeroes the page and installs a fresh header.
+inline void FormatPage(void* data, PageNum page_num, StoreId store,
+                       PageType type) {
+  std::memset(data, 0, kPageSize);
+  PageHeader* h = HeaderOf(data);
+  h->magic = kPageMagic;
+  h->type = type;
+  h->slot_count = 0;
+  h->page_num = page_num;
+  h->store = store;
+  h->free_begin = sizeof(PageHeader);
+  h->page_lsn = 0;
+  h->next_page = kInvalidPageNum;
+  h->prev_page = kInvalidPageNum;
+}
+
+/// Cheap structural validity check (magic + self page number).
+inline bool PageLooksValid(const void* data, PageNum expected) {
+  const PageHeader* h = HeaderOf(data);
+  return h->magic == kPageMagic && h->page_num == expected;
+}
+
+}  // namespace shoremt::page
+
+#endif  // SHOREMT_PAGE_PAGE_H_

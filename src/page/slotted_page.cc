@@ -1,0 +1,179 @@
+#include "page/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace shoremt::page {
+
+void SlottedPage::Init(PageNum page_num, StoreId store, PageType type) {
+  FormatPage(data_, page_num, store, type);
+}
+
+SlottedPage::Slot* SlottedPage::SlotAt(uint16_t index) {
+  return reinterpret_cast<Slot*>(data_ + kPageSize) - (index + 1);
+}
+
+const SlottedPage::Slot* SlottedPage::SlotAt(uint16_t index) const {
+  return reinterpret_cast<const Slot*>(data_ + kPageSize) - (index + 1);
+}
+
+uint16_t SlottedPage::LiveCount() const {
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    if (SlotAt(i)->offset != 0) ++live;
+  }
+  return live;
+}
+
+size_t SlottedPage::ContiguousFree() const {
+  size_t slots_bottom = kPageSize - SlotCount() * sizeof(Slot);
+  return slots_bottom - header()->free_begin;
+}
+
+size_t SlottedPage::DeadBytes() const {
+  size_t dead = 0;
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    const Slot* s = SlotAt(i);
+    if (s->offset == 0) dead += s->length;
+  }
+  return dead;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  return ContiguousFree() + DeadBytes();
+}
+
+bool SlottedPage::Fits(size_t size) const {
+  // A tombstoned slot can be reused; otherwise a new slot entry is needed.
+  bool has_tombstone = false;
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    if (SlotAt(i)->offset == 0) {
+      has_tombstone = true;
+      break;
+    }
+  }
+  size_t need = size + (has_tombstone ? 0 : sizeof(Slot));
+  return FreeSpace() >= need;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::span<const uint8_t> payload) {
+  if (payload.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record exceeds page capacity");
+  }
+  // Prefer reusing a tombstoned slot so RecordIds stay dense.
+  uint16_t slot = SlotCount();
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    if (SlotAt(i)->offset == 0) {
+      slot = i;
+      break;
+    }
+  }
+  Status st = InsertAt(slot, payload);
+  if (!st.ok()) return st;
+  return slot;
+}
+
+Status SlottedPage::InsertAt(uint16_t slot, std::span<const uint8_t> payload) {
+  PageHeader* h = header();
+  bool new_slot = slot >= h->slot_count;
+  if (new_slot && slot != h->slot_count) {
+    return Status::InvalidArgument("non-contiguous slot insert");
+  }
+  if (!new_slot && SlotAt(slot)->offset != 0) {
+    return Status::AlreadyExists("slot is live");
+  }
+  size_t need = payload.size() + (new_slot ? sizeof(Slot) : 0);
+  if (ContiguousFree() < need) {
+    if (FreeSpace() < need) return Status::OutOfSpace("page full");
+    Compact();
+    if (ContiguousFree() < need) return Status::OutOfSpace("page full");
+  }
+  if (new_slot) h->slot_count = slot + 1;
+  Slot* s = SlotAt(slot);
+  s->offset = static_cast<uint16_t>(h->free_begin);
+  s->length = static_cast<uint16_t>(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(data_ + h->free_begin, payload.data(), payload.size());
+  }
+  h->free_begin += static_cast<uint32_t>(payload.size());
+  return Status::Ok();
+}
+
+Result<std::span<const uint8_t>> SlottedPage::Read(uint16_t slot) const {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  const Slot* s = SlotAt(slot);
+  if (s->offset == 0) return Status::NotFound("slot deleted");
+  return std::span<const uint8_t>(data_ + s->offset, s->length);
+}
+
+Status SlottedPage::Update(uint16_t slot, std::span<const uint8_t> payload) {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  Slot* s = SlotAt(slot);
+  if (s->offset == 0) return Status::NotFound("slot deleted");
+  if (payload.size() <= s->length) {
+    // Shrinking or equal: overwrite in place (leftover bytes become dead
+    // space accounted against the old length).
+    std::memcpy(data_ + s->offset, payload.data(), payload.size());
+    s->length = static_cast<uint16_t>(payload.size());
+    return Status::Ok();
+  }
+  // Growing: tombstone, then re-insert into the same slot.
+  uint16_t old_offset = s->offset;
+  uint16_t old_length = s->length;
+  s->offset = 0;
+  Status st = InsertAt(slot, payload);
+  if (!st.ok()) {
+    s->offset = old_offset;  // Roll back the tombstone.
+    s->length = old_length;
+    return st;
+  }
+  return Status::Ok();
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  Slot* s = SlotAt(slot);
+  if (s->offset == 0) return Status::NotFound("slot already deleted");
+  s->offset = 0;  // Length is kept: it measures reclaimable dead space.
+  return Status::Ok();
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  return slot < SlotCount() && SlotAt(slot)->offset != 0;
+}
+
+void SlottedPage::Compact() {
+  PageHeader* h = header();
+  // Copy live records into a scratch heap in slot order, then rewrite.
+  std::vector<uint8_t> scratch;
+  scratch.reserve(h->free_begin - sizeof(PageHeader));
+  std::vector<std::pair<uint16_t, uint16_t>> placed(SlotCount());  // off,len
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    Slot* s = SlotAt(i);
+    if (s->offset == 0) {
+      placed[i] = {0, 0};
+      continue;
+    }
+    uint16_t new_off =
+        static_cast<uint16_t>(sizeof(PageHeader) + scratch.size());
+    scratch.insert(scratch.end(), data_ + s->offset,
+                   data_ + s->offset + s->length);
+    placed[i] = {new_off, s->length};
+  }
+  if (!scratch.empty()) {
+    std::memcpy(data_ + sizeof(PageHeader), scratch.data(), scratch.size());
+  }
+  for (uint16_t i = 0; i < SlotCount(); ++i) {
+    Slot* s = SlotAt(i);
+    if (s->offset != 0) {
+      s->offset = placed[i].first;
+      s->length = placed[i].second;
+    } else {
+      s->length = 0;  // Dead space reclaimed.
+    }
+  }
+  h->free_begin = static_cast<uint32_t>(sizeof(PageHeader) + scratch.size());
+}
+
+}  // namespace shoremt::page

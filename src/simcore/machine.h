@@ -1,0 +1,52 @@
+#ifndef SHOREMT_SIMCORE_MACHINE_H_
+#define SHOREMT_SIMCORE_MACHINE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace shoremt::simcore {
+
+/// Hardware model for the simulated multicore machine. Defaults describe
+/// the paper's Sun T2000 (Niagara): 8 in-order cores, 4 hardware threads
+/// per core sharing a single-issue pipeline, 1 GHz.
+///
+/// The SMT model: one software thread keeps a Niagara core only partially
+/// busy (stalls on memory), so `single_thread_throughput` < 1. Adding
+/// co-resident threads fills stall slots until the pipeline saturates at
+/// `max_core_throughput`. Per-thread speed at occupancy k is
+/// CoreThroughput(k) / k — this is what caps Shore-MT's measured speedup
+/// below 32x on 32 contexts (§5: "threads contend for hardware resources
+/// within the processor itself").
+struct MachineConfig {
+  int cores = 8;
+  int smt_per_core = 4;
+
+  /// Pipeline utilization of a single software thread on an otherwise idle
+  /// core (instructions retired per cycle, normalized to peak = 1.0).
+  double single_thread_throughput = 0.42;
+  /// Saturation utilization with enough co-resident threads.
+  double max_core_throughput = 1.0;
+
+  /// Cost to park + wake a thread on an OS (pthread) mutex or condvar.
+  uint64_t context_switch_ns = 6000;
+  /// round trip). Drives spinlock handoff penalties.
+  uint64_t cacheline_transfer_ns = 120;
+
+  int total_contexts() const { return cores * smt_per_core; }
+
+  /// Aggregate throughput of one core running k consuming threads.
+  double CoreThroughput(int k) const {
+    if (k <= 0) return 0.0;
+    return std::min(max_core_throughput, k * single_thread_throughput);
+  }
+
+  /// Speed of each of k co-resident consuming threads (fraction of a
+  /// dedicated 1.0-speed context).
+  double PerThreadSpeed(int k) const {
+    return k <= 0 ? 0.0 : CoreThroughput(k) / k;
+  }
+};
+
+}  // namespace shoremt::simcore
+
+#endif  // SHOREMT_SIMCORE_MACHINE_H_

@@ -1,0 +1,42 @@
+#include "simcore/step.h"
+
+namespace shoremt::simcore {
+
+StepProgram& StepProgram::Compute(uint64_t ns) {
+  if (ns > 0) steps_.push_back({StepKind::kCompute, ns, -1, {}});
+  return *this;
+}
+
+StepProgram& StepProgram::Acquire(int resource) {
+  steps_.push_back({StepKind::kAcquire, 0, resource, SimMode::kExclusiveOp});
+  return *this;
+}
+
+StepProgram& StepProgram::AcquireShared(int resource) {
+  steps_.push_back({StepKind::kAcquire, 0, resource, SimMode::kSharedOp});
+  return *this;
+}
+
+StepProgram& StepProgram::Release(int resource) {
+  steps_.push_back({StepKind::kRelease, 0, resource, {}});
+  return *this;
+}
+
+StepProgram& StepProgram::CriticalSection(int resource, uint64_t cs_ns) {
+  Acquire(resource);
+  Compute(cs_ns);
+  Release(resource);
+  return *this;
+}
+
+StepProgram& StepProgram::Io(uint64_t ns) {
+  steps_.push_back({StepKind::kIo, ns, -1, {}});
+  return *this;
+}
+
+StepProgram& StepProgram::TxnEnd() {
+  steps_.push_back({StepKind::kTxnEnd, 0, -1, {}});
+  return *this;
+}
+
+}  // namespace shoremt::simcore

@@ -1,0 +1,63 @@
+#ifndef SHOREMT_SIMCORE_STEP_H_
+#define SHOREMT_SIMCORE_STEP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace shoremt::simcore {
+
+/// Kinds of work a simulated thread can perform.
+enum class StepKind : uint8_t {
+  kCompute,         ///< Consume CPU for `duration_ns` (at speed 1.0).
+  kAcquire,         ///< Acquire lock/latch `resource` (mode for latches).
+  kRelease,         ///< Release lock/latch `resource`.
+  kIo,              ///< Block without consuming CPU for `duration_ns`.
+  kTxnEnd,          ///< Transaction boundary: counts toward throughput.
+};
+
+/// Lock/latch acquisition mode (latches only; plain locks use kExclusiveOp).
+enum class SimMode : uint8_t { kSharedOp, kExclusiveOp };
+
+/// One unit of simulated work.
+struct Step {
+  StepKind kind = StepKind::kCompute;
+  uint64_t duration_ns = 0;
+  int resource = -1;
+  SimMode mode = SimMode::kExclusiveOp;
+};
+
+/// Convenience builder for transaction step sequences. Engine profiles and
+/// calibrated workload models express one transaction as a program; the
+/// simulator replays it, resolving contention in virtual time.
+class StepProgram {
+ public:
+  StepProgram& Compute(uint64_t ns);
+  StepProgram& Acquire(int resource);
+  StepProgram& AcquireShared(int resource);
+  StepProgram& Release(int resource);
+  /// Compute `cs_ns` while holding `resource` (acquire/compute/release).
+  StepProgram& CriticalSection(int resource, uint64_t cs_ns);
+  StepProgram& Io(uint64_t ns);
+  StepProgram& TxnEnd();
+
+  const std::vector<Step>& steps() const { return steps_; }
+  void Clear() { steps_.clear(); }
+  bool Empty() const { return steps_.empty(); }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Generates the next transaction for a simulated thread. Called whenever
+/// the thread's program drains; fills `program` (already cleared). The Rng
+/// is the thread's private generator, so runs are deterministic per seed.
+using TxnFactory = std::function<void(Rng& rng, StepProgram* program)>;
+
+}  // namespace shoremt::simcore
+
+#endif  // SHOREMT_SIMCORE_STEP_H_

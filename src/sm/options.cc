@@ -1,0 +1,68 @@
+#include "sm/options.h"
+
+namespace shoremt::sm {
+
+StorageOptions StorageOptions::ForStage(Stage stage) {
+  // Start from the original-Shore configuration and layer the stages'
+  // optimizations cumulatively, mirroring §7.1–§7.7.
+  StorageOptions o;
+  o.buffer.table_kind = buffer::TableKind::kGlobalChained;
+  o.buffer.pin_if_pinned = false;
+  o.buffer.transit_shards = 1;
+  o.buffer.release_clock_hand_early = false;
+  o.space.mutex_kind = sync::MutexKind::kPthread;
+  o.space.refactored_alloc = false;
+  o.space.extent_cache = false;
+  o.space.last_page_cache = false;
+  o.space.full_scan_ownership = true;
+  o.log.buffer_kind = log::LogBufferKind::kMutex;
+  o.lock.per_bucket_latch = false;
+  o.lock.pool_kind = lock::RequestPoolKind::kMutexFreelist;
+  o.txn.oldest_txn_cache = false;
+  o.btree.probe_lock_table = true;
+  o.decoupled_checkpoint = false;
+  if (stage == Stage::kBaseline) return o;
+
+  // §7.2 "bpool 1": per-bucket hash locks + atomic pin-if-pinned.
+  o.buffer.table_kind = buffer::TableKind::kPerBucketChained;
+  o.buffer.pin_if_pinned = true;
+  if (stage == Stage::kBufferPool1) return o;
+
+  // §7.3 "caching": free-space mutex → MCS with the latch moved outside
+  // the critical section; cached oldest-transaction id.
+  o.space.mutex_kind = sync::MutexKind::kMcs;
+  o.space.refactored_alloc = true;
+  o.txn.oldest_txn_cache = true;
+  if (stage == Stage::kCaching) return o;
+
+  // §7.4 "log": decoupled circular log buffer; thread-local extent-id
+  // cache kills the per-insert metadata scan; cuckoo bufferpool table.
+  o.log.buffer_kind = log::LogBufferKind::kDecoupled;
+  o.space.extent_cache = true;
+  o.space.full_scan_ownership = false;
+  o.buffer.table_kind = buffer::TableKind::kCuckoo;
+  if (stage == Stage::kLog) return o;
+
+  // §7.5 "lock mgr": enable the per-bucket lock-table latches and the
+  // lock-free request pool.
+  o.lock.per_bucket_latch = true;
+  o.lock.pool_kind = lock::RequestPoolKind::kLockFreeStack;
+  if (stage == Stage::kLockManager) return o;
+
+  // §7.6 "bpool 2": release the clock hand before eviction I/O and
+  // distribute the in-transit list; cache the last page of each store
+  // (the O(n^2) allocation fix).
+  o.buffer.release_clock_hand_early = true;
+  o.buffer.transit_shards = 128;
+  o.space.last_page_cache = true;
+  if (stage == Stage::kBufferPool2) return o;
+
+  // §7.7 "final": consolidated log inserts, checkpoints decoupled via the
+  // page cleaner, redundant B+Tree probe lock search removed.
+  o.log.buffer_kind = log::LogBufferKind::kConsolidated;
+  o.btree.probe_lock_table = false;
+  o.decoupled_checkpoint = true;
+  return o;
+}
+
+}  // namespace shoremt::sm

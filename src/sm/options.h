@@ -1,0 +1,69 @@
+#ifndef SHOREMT_SM_OPTIONS_H_
+#define SHOREMT_SM_OPTIONS_H_
+
+#include <string_view>
+
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "space/space_manager.h"
+#include "txn/txn_manager.h"
+
+namespace shoremt::sm {
+
+/// The optimization stages of §7, in order. Each stage preset configures
+/// every component exactly as the corresponding Shore-MT development
+/// snapshot: Figure 7 sweeps these presets.
+enum class Stage {
+  kBaseline,     ///< §7.1: pthreads + coarse mutexes everywhere.
+  kBufferPool1,  ///< §7.2: per-bucket bpool locks, pin-if-pinned, TAS.
+  kCaching,      ///< §7.3: free-space refactor, oldest-txn cache.
+  kLog,          ///< §7.4: decoupled log buffer, extent cache, cuckoo.
+  kLockManager,  ///< §7.5: per-bucket lock table, lock-free request pool.
+  kBufferPool2,  ///< §7.6: clock-hand release, distributed transit lists.
+  kFinal,        ///< §7.7: consolidated log inserts, decoupled checkpoint,
+                 ///<        no redundant B+Tree probe locks.
+};
+
+constexpr std::string_view StageName(Stage s) {
+  switch (s) {
+    case Stage::kBaseline: return "baseline";
+    case Stage::kBufferPool1: return "bpool 1";
+    case Stage::kCaching: return "caching";
+    case Stage::kLog: return "log";
+    case Stage::kLockManager: return "lock mgr";
+    case Stage::kBufferPool2: return "bpool 2";
+    case Stage::kFinal: return "final";
+  }
+  return "?";
+}
+
+inline constexpr Stage kAllStages[] = {
+    Stage::kBaseline,     Stage::kBufferPool1, Stage::kCaching,
+    Stage::kLog,          Stage::kLockManager, Stage::kBufferPool2,
+    Stage::kFinal,
+};
+
+/// Aggregated configuration of the whole storage manager.
+struct StorageOptions {
+  buffer::BufferPoolOptions buffer;
+  space::SpaceOptions space;
+  log::LogOptions log;
+  lock::LockOptions lock;
+  txn::TxnOptions txn;
+  btree::BTreeOptions btree;
+  /// §7.7: derive the checkpoint redo point from the page cleaner's
+  /// tracked LSN instead of scanning the whole buffer pool while holding
+  /// the transaction table still.
+  bool decoupled_checkpoint = true;
+
+  /// Configuration corresponding to a §7 development stage. Later stages
+  /// include all earlier optimizations (the paper's process was strictly
+  /// cumulative).
+  static StorageOptions ForStage(Stage stage);
+};
+
+}  // namespace shoremt::sm
+
+#endif  // SHOREMT_SM_OPTIONS_H_

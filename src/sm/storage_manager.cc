@@ -1,0 +1,624 @@
+#include "sm/storage_manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "btree/btree_node.h"
+#include "page/page.h"
+#include "page/slotted_page.h"
+
+namespace shoremt::sm {
+
+using buffer::PageHandle;
+using sync::LatchMode;
+
+namespace {
+
+/// Catalog entry wire format: u32 name_len | name | u32 heap | u32 index |
+/// u64 root.
+void SerializeTableInfo(const TableInfo& info, std::vector<uint8_t>* out) {
+  out->clear();
+  auto put = [&](const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    out->insert(out->end(), b, b + n);
+  };
+  uint32_t len = static_cast<uint32_t>(info.name.size());
+  put(&len, 4);
+  put(info.name.data(), info.name.size());
+  put(&info.heap_store, 4);
+  put(&info.index_store, 4);
+  put(&info.index_root, 8);
+}
+
+Status DeserializeTableInfo(std::span<const uint8_t> data, TableInfo* info) {
+  if (data.size() < 4) return Status::Corruption("catalog entry truncated");
+  uint32_t len;
+  std::memcpy(&len, data.data(), 4);
+  if (data.size() < 4 + len + 16) {
+    return Status::Corruption("catalog entry truncated");
+  }
+  info->name.assign(reinterpret_cast<const char*>(data.data() + 4), len);
+  std::memcpy(&info->heap_store, data.data() + 4 + len, 4);
+  std::memcpy(&info->index_store, data.data() + 8 + len, 4);
+  std::memcpy(&info->index_root, data.data() + 12 + len, 8);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StorageManager::StorageManager(StorageOptions options, io::Volume* volume,
+                               log::LogStorage* log_storage)
+    : options_(options), volume_(volume), log_storage_(log_storage) {
+  log_ = std::make_unique<log::LogManager>(log_storage_, options_.log);
+  pool_ = std::make_unique<buffer::BufferPool>(
+      volume_, options_.buffer,
+      [this](Lsn lsn) { return log_->FlushTo(lsn); });
+  pool_->SetLsnProvider([this] { return log_->next_lsn(); });
+  space_ = std::make_unique<space::SpaceManager>(volume_, options_.space);
+  locks_ = std::make_unique<lock::LockManager>(options_.lock);
+  txns_ = std::make_unique<txn::TxnManager>(log_.get(), locks_.get(),
+                                            options_.txn);
+  txns_->SetUndoApplier(
+      [this](txn::Transaction* txn, const log::LogRecord& rec) {
+        return UndoRecord(txn, txn->id, rec);
+      });
+}
+
+StorageManager::~StorageManager() {
+  if (!crashed_) (void)Shutdown();
+}
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    StorageOptions options, io::Volume* volume,
+    log::LogStorage* log_storage) {
+  if (volume->NumPages() < kPagesPerExtent) {
+    SHOREMT_RETURN_NOT_OK(volume->Extend(kPagesPerExtent));
+  }
+  auto sm = std::unique_ptr<StorageManager>(
+      new StorageManager(options, volume, log_storage));
+  if (log_storage->size() > 0) {
+    SHOREMT_RETURN_NOT_OK(sm->Recover());
+  }
+  return sm;
+}
+
+void StorageManager::RegisterTable(const TableInfo& info) {
+  std::lock_guard<std::mutex> guard(catalog_mutex_);
+  catalog_[info.name] = info;
+  indexes_[info.index_store] = std::make_unique<btree::BTree>(
+      pool_.get(), space_.get(), log_.get(), txns_.get(), locks_.get(),
+      info.index_store, info.index_root, options_.btree);
+}
+
+btree::BTree* StorageManager::index_of(const TableInfo& table) {
+  std::lock_guard<std::mutex> guard(catalog_mutex_);
+  auto it = indexes_.find(table.index_store);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Result<TableInfo> StorageManager::CreateTable(txn::Transaction* txn,
+                                              const std::string& name) {
+  {
+    std::lock_guard<std::mutex> guard(catalog_mutex_);
+    if (catalog_.contains(name)) {
+      return Status::AlreadyExists("table exists: " + name);
+    }
+  }
+  TableInfo info;
+  info.name = name;
+  info.heap_store = next_store_.fetch_add(1, std::memory_order_relaxed);
+  info.index_store = next_store_.fetch_add(1, std::memory_order_relaxed);
+
+  for (StoreId sid : {info.heap_store, info.index_store}) {
+    SHOREMT_RETURN_NOT_OK(space_->CreateStore(sid));
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kCreateStore;
+    rec.store = sid;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+    txns_->NoteLogged(txn, a.lsn, a.end);
+  }
+
+  SHOREMT_ASSIGN_OR_RETURN(
+      info.index_root,
+      btree::BTree::CreateRoot(pool_.get(), space_.get(), log_.get(),
+                               txns_.get(), txn, info.index_store));
+
+  log::LogRecord cat;
+  cat.type = log::LogRecordType::kCatalog;
+  cat.txn = txn->id;
+  cat.prev_lsn = txn->last_lsn;
+  SerializeTableInfo(info, &cat.after);
+  SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(cat));
+  txns_->NoteLogged(txn, a.lsn, a.end);
+
+  RegisterTable(info);
+  return info;
+}
+
+Result<TableInfo> StorageManager::OpenTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(catalog_mutex_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("no table " + name);
+  return it->second;
+}
+
+Result<RecordId> StorageManager::HeapInsert(txn::Transaction* txn,
+                                            StoreId heap_store,
+                                            std::span<const uint8_t> payload) {
+  if (payload.size() > page::SlottedPage::MaxRecordSize()) {
+    return Status::InvalidArgument("row too large for a page");
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // Append target: the store's last page (cache vs chain walk is a
+    // space-manager knob, §7.6).
+    auto last = space_->LastPageOf(heap_store);
+    if (last.ok()) {
+      // §6.2.2: every insert verifies the page belongs to the right store
+      // (thread-local extent cache makes this cheap in later stages).
+      auto owner = space_->OwnerOf(*last);
+      if (owner.ok() && *owner == heap_store) {
+        SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                                 pool_->FixPage(*last, LatchMode::kExclusive));
+        page::SlottedPage sp(h.data());
+        if (sp.header()->store == heap_store && sp.Fits(payload.size())) {
+          SHOREMT_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(payload));
+          log::LogRecord rec;
+          rec.type = log::LogRecordType::kPageInsert;
+          rec.page = *last;
+          rec.store = heap_store;
+          rec.slot = slot;
+          rec.txn = txn->id;
+          rec.prev_lsn = txn->last_lsn;
+          rec.after.assign(payload.begin(), payload.end());
+          SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+          txns_->NoteLogged(txn, a.lsn, a.end);
+          h.MarkDirty(a.end);
+          return RecordId{*last, slot};
+        }
+      }
+    }
+    // No usable page: grow the store by one page and retry the insert on
+    // it (the init callback runs inside/outside the space critical
+    // section depending on the refactored_alloc knob — Figure 6).
+    auto init = [&](PageNum p) -> Status {
+      SHOREMT_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(p));
+      page::SlottedPage sp(h.data());
+      sp.Init(p, heap_store, page::PageType::kData);
+      log::LogRecord rec;
+      rec.type = log::LogRecordType::kPageFormat;
+      rec.page = p;
+      rec.store = heap_store;
+      rec.page_type = static_cast<uint8_t>(page::PageType::kData);
+      rec.txn = txn->id;
+      rec.prev_lsn = txn->last_lsn;
+      SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+      txns_->NoteLogged(txn, a.lsn, a.end);
+      h.MarkDirty(a.end);
+      return Status::Ok();
+    };
+    SHOREMT_ASSIGN_OR_RETURN(PageNum fresh,
+                             space_->AllocatePage(heap_store, init));
+    log::LogRecord alloc;
+    alloc.type = log::LogRecordType::kAllocPage;
+    alloc.page = fresh;
+    alloc.store = heap_store;
+    alloc.txn = txn->id;
+    alloc.prev_lsn = txn->last_lsn;
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(alloc));
+    txns_->NoteLogged(txn, a.lsn, a.end);
+    // Loop: the fresh page is now the store's last page.
+  }
+  return Status::Internal("heap insert failed to place the row");
+}
+
+Result<RecordId> StorageManager::Insert(txn::Transaction* txn,
+                                        const TableInfo& table, uint64_t key,
+                                        std::span<const uint8_t> payload) {
+  btree::BTree* index = index_of(table);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  SHOREMT_ASSIGN_OR_RETURN(RecordId rid,
+                           HeapInsert(txn, table.heap_store, payload));
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+  // On duplicate key the caller aborts the transaction, which rolls the
+  // heap placement back through the WAL chain.
+  SHOREMT_RETURN_NOT_OK(index->Insert(txn, key, rid));
+  return rid;
+}
+
+Result<std::vector<uint8_t>> StorageManager::Read(txn::Transaction* txn,
+                                                  const TableInfo& table,
+                                                  uint64_t key) {
+  btree::BTree* index = index_of(table);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kS));
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(rid.page, LatchMode::kShared));
+  page::SlottedPage sp(h.data());
+  SHOREMT_ASSIGN_OR_RETURN(std::span<const uint8_t> rec, sp.Read(rid.slot));
+  return std::vector<uint8_t>(rec.begin(), rec.end());
+}
+
+Status StorageManager::Update(txn::Transaction* txn, const TableInfo& table,
+                              uint64_t key,
+                              std::span<const uint8_t> payload) {
+  btree::BTree* index = index_of(table);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                           pool_->FixPage(rid.page, LatchMode::kExclusive));
+  page::SlottedPage sp(h.data());
+  SHOREMT_ASSIGN_OR_RETURN(std::span<const uint8_t> old, sp.Read(rid.slot));
+  log::LogRecord rec;
+  rec.type = log::LogRecordType::kPageUpdate;
+  rec.page = rid.page;
+  rec.store = table.heap_store;
+  rec.slot = rid.slot;
+  rec.txn = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.before.assign(old.begin(), old.end());
+  rec.after.assign(payload.begin(), payload.end());
+  SHOREMT_RETURN_NOT_OK(sp.Update(rid.slot, payload));
+  SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+  txns_->NoteLogged(txn, a.lsn, a.end);
+  h.MarkDirty(a.end);
+  return Status::Ok();
+}
+
+Status StorageManager::Delete(txn::Transaction* txn, const TableInfo& table,
+                              uint64_t key) {
+  btree::BTree* index = index_of(table);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+  {
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                             pool_->FixPage(rid.page, LatchMode::kExclusive));
+    page::SlottedPage sp(h.data());
+    SHOREMT_ASSIGN_OR_RETURN(std::span<const uint8_t> old, sp.Read(rid.slot));
+    log::LogRecord rec;
+    rec.type = log::LogRecordType::kPageDelete;
+    rec.page = rid.page;
+    rec.store = table.heap_store;
+    rec.slot = rid.slot;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    rec.before.assign(old.begin(), old.end());
+    SHOREMT_RETURN_NOT_OK(sp.Delete(rid.slot));
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+    txns_->NoteLogged(txn, a.lsn, a.end);
+    h.MarkDirty(a.end);
+  }
+  return index->Remove(txn, key);
+}
+
+Status StorageManager::Scan(
+    txn::Transaction* txn, const TableInfo& table, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, std::span<const uint8_t>)>& fn) {
+  btree::BTree* index = index_of(table);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  // Collect matches first: row locks must not be acquired while holding
+  // leaf latches (latch-lock deadlock).
+  std::vector<std::pair<uint64_t, RecordId>> matches;
+  SHOREMT_RETURN_NOT_OK(index->Scan(lo, hi, [&](uint64_t key, RecordId rid) {
+    matches.emplace_back(key, rid);
+    return true;
+  }));
+  for (const auto& [key, rid] : matches) {
+    SHOREMT_RETURN_NOT_OK(
+        txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kS));
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                             pool_->FixPage(rid.page, LatchMode::kShared));
+    page::SlottedPage sp(h.data());
+    auto rec = sp.Read(rid.slot);
+    if (!rec.ok()) continue;  // Deleted between index scan and read.
+    if (!fn(key, *rec)) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Result<Lsn> StorageManager::Checkpoint() {
+  if (options_.decoupled_checkpoint) {
+    // §7.7: the cleaner's tracked LSN replaces the buffer pool scan. Run a
+    // sweep if none has completed yet (cold start).
+    if (pool_->CleanerTrackedLsn().IsNull()) {
+      SHOREMT_RETURN_NOT_OK(pool_->CleanerSweep());
+    }
+    return txns_->TakeCheckpoint([this] {
+      Lsn lsn = pool_->CleanerTrackedLsn();
+      return lsn.IsNull() ? Lsn{1} : lsn;
+    });
+  }
+  // Original Shore: scan the whole pool while the transaction table is
+  // frozen.
+  return txns_->TakeCheckpoint([this] {
+    Lsn lsn = pool_->ScanMinRecLsn();
+    return lsn.IsNull() ? log_->durable_lsn() : lsn;
+  });
+}
+
+Status StorageManager::Shutdown() {
+  SHOREMT_RETURN_NOT_OK(log_->FlushAll());
+  SHOREMT_RETURN_NOT_OK(pool_->FlushAll());
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------- undo ----
+
+Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
+                                  const log::LogRecord& rec) {
+  using log::LogRecordType;
+  log::LogRecord clr;
+  clr.type = LogRecordType::kClr;
+  clr.txn = txn_id;
+  clr.prev_lsn = txn != nullptr ? txn->last_lsn : rec.lsn;
+  clr.undo_next = rec.prev_lsn;
+  clr.store = rec.store;
+
+  PageHandle handle;
+  switch (rec.type) {
+    case LogRecordType::kPageInsert: {
+      SHOREMT_ASSIGN_OR_RETURN(
+          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+      page::SlottedPage sp(handle.data());
+      SHOREMT_RETURN_NOT_OK(sp.Delete(rec.slot));
+      clr.page = rec.page;
+      clr.slot = rec.slot;
+      clr.page_type = static_cast<uint8_t>(LogRecordType::kPageDelete);
+      break;
+    }
+    case LogRecordType::kPageUpdate: {
+      SHOREMT_ASSIGN_OR_RETURN(
+          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+      page::SlottedPage sp(handle.data());
+      SHOREMT_RETURN_NOT_OK(sp.Update(rec.slot, rec.before));
+      clr.page = rec.page;
+      clr.slot = rec.slot;
+      clr.page_type = static_cast<uint8_t>(LogRecordType::kPageUpdate);
+      clr.after = rec.before;
+      break;
+    }
+    case LogRecordType::kPageDelete: {
+      SHOREMT_ASSIGN_OR_RETURN(
+          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+      page::SlottedPage sp(handle.data());
+      SHOREMT_RETURN_NOT_OK(sp.InsertAt(rec.slot, rec.before));
+      clr.page = rec.page;
+      clr.slot = rec.slot;
+      clr.page_type = static_cast<uint8_t>(LogRecordType::kPageInsert);
+      clr.after = rec.before;
+      break;
+    }
+    case LogRecordType::kBtreeInsert: {
+      btree::BTree* index = nullptr;
+      {
+        std::lock_guard<std::mutex> guard(catalog_mutex_);
+        auto it = indexes_.find(rec.store);
+        if (it != indexes_.end()) index = it->second.get();
+      }
+      if (index == nullptr) return Status::Internal("undo: unknown index");
+      btree::BTreeEntry e;
+      std::memcpy(&e, rec.after.data(), sizeof(e));
+      uint64_t removed;
+      PageNum leaf;
+      SHOREMT_ASSIGN_OR_RETURN(handle,
+                               index->RemoveUnlogged(e.key, &removed, &leaf));
+      clr.page = leaf;
+      clr.page_type = static_cast<uint8_t>(LogRecordType::kBtreeDelete);
+      clr.before = rec.after;
+      break;
+    }
+    case LogRecordType::kBtreeDelete: {
+      btree::BTree* index = nullptr;
+      {
+        std::lock_guard<std::mutex> guard(catalog_mutex_);
+        auto it = indexes_.find(rec.store);
+        if (it != indexes_.end()) index = it->second.get();
+      }
+      if (index == nullptr) return Status::Internal("undo: unknown index");
+      btree::BTreeEntry e;
+      std::memcpy(&e, rec.before.data(), sizeof(e));
+      PageNum leaf;
+      SHOREMT_ASSIGN_OR_RETURN(handle,
+                               index->InsertUnlogged(e.key, e.value, &leaf));
+      clr.page = leaf;
+      clr.page_type = static_cast<uint8_t>(LogRecordType::kBtreeInsert);
+      clr.after = rec.before;
+      break;
+    }
+    default:
+      // Structure/space/catalog records are not undone (freed space is
+      // reclaimed lazily, as in the original system).
+      return Status::Ok();
+  }
+
+  SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->AppendClr(clr));
+  if (txn != nullptr) txns_->NoteLogged(txn, a.lsn, a.end);
+  handle.MarkDirty(a.end);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- recovery ----
+
+Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
+  using log::LogRecordType;
+  switch (rec.type) {
+    case LogRecordType::kClr: {
+      // Re-apply the embedded inverse action.
+      log::LogRecord action;
+      action.type = static_cast<LogRecordType>(rec.page_type);
+      action.page = rec.page;
+      action.slot = rec.slot;
+      action.store = rec.store;
+      action.before = rec.before;
+      action.after = rec.after;
+      return RedoRecord(action, end);
+    }
+    case LogRecordType::kPageFormat: {
+      SHOREMT_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(rec.page));
+      if (page::HeaderOf(h.data())->page_lsn >= end.value &&
+          page::PageLooksValid(h.data(), rec.page)) {
+        return Status::Ok();
+      }
+      auto type = static_cast<page::PageType>(rec.page_type);
+      if (type == page::PageType::kData) {
+        page::SlottedPage sp(h.data());
+        sp.Init(rec.page, rec.store, type);
+      } else {
+        btree::BTreeNode node(h.data());
+        node.Init(rec.page, rec.store,
+                  type == page::PageType::kBTreeLeaf ? 0 : 1);
+      }
+      h.MarkDirty(end);
+      return Status::Ok();
+    }
+    case LogRecordType::kPageInsert:
+    case LogRecordType::kPageUpdate:
+    case LogRecordType::kPageDelete:
+    case LogRecordType::kBtreeInsert:
+    case LogRecordType::kBtreeDelete:
+    case LogRecordType::kBtreeSetContent: {
+      SHOREMT_ASSIGN_OR_RETURN(
+          PageHandle h, pool_->FixPage(rec.page, LatchMode::kExclusive));
+      if (page::HeaderOf(h.data())->page_lsn >= end.value) {
+        return Status::Ok();  // Change already on the page image.
+      }
+      switch (rec.type) {
+        case LogRecordType::kPageInsert: {
+          page::SlottedPage sp(h.data());
+          SHOREMT_RETURN_NOT_OK(sp.InsertAt(rec.slot, rec.after));
+          break;
+        }
+        case LogRecordType::kPageUpdate: {
+          page::SlottedPage sp(h.data());
+          SHOREMT_RETURN_NOT_OK(sp.Update(rec.slot, rec.after));
+          break;
+        }
+        case LogRecordType::kPageDelete: {
+          page::SlottedPage sp(h.data());
+          SHOREMT_RETURN_NOT_OK(sp.Delete(rec.slot));
+          break;
+        }
+        case LogRecordType::kBtreeInsert: {
+          btree::BTreeNode node(h.data());
+          btree::BTreeEntry e;
+          std::memcpy(&e, rec.after.data(), sizeof(e));
+          node.InsertSorted(e.key, e.value);
+          break;
+        }
+        case LogRecordType::kBtreeDelete: {
+          btree::BTreeNode node(h.data());
+          btree::BTreeEntry e;
+          std::memcpy(&e, rec.before.data(), sizeof(e));
+          node.RemoveKey(e.key);
+          break;
+        }
+        case LogRecordType::kBtreeSetContent: {
+          btree::BTreeNode node(h.data());
+          node.RestoreContent(rec.after);
+          break;
+        }
+        default:
+          break;
+      }
+      h.MarkDirty(end);
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();  // Metadata handled during analysis.
+  }
+}
+
+Status StorageManager::Recover() {
+  // --- Analysis: rebuild space map + catalog from the whole log, find the
+  // last checkpoint, and build the active transaction table.
+  Lsn redo_start{1};
+  std::map<TxnId, Lsn> losers;
+  TxnId max_txn = 0;
+  StoreId max_store = 0;
+
+  SHOREMT_RETURN_NOT_OK(log_->Scan([&](const log::LogRecord& rec, Lsn end) {
+    using log::LogRecordType;
+    max_txn = std::max(max_txn, rec.txn);
+    switch (rec.type) {
+      case LogRecordType::kCheckpoint: {
+        log::CheckpointBody body;
+        SHOREMT_RETURN_NOT_OK(DeserializeCheckpoint(rec.after, &body));
+        losers.clear();
+        for (const auto& [id, last] : body.active_txns) {
+          losers[id] = last;
+        }
+        if (!body.redo_lsn.IsNull()) redo_start = body.redo_lsn;
+        break;
+      }
+      case LogRecordType::kCreateStore:
+        max_store = std::max(max_store, rec.store);
+        SHOREMT_RETURN_NOT_OK(space_->ApplyCreateStore(rec.store));
+        break;
+      case LogRecordType::kAllocPage:
+        SHOREMT_RETURN_NOT_OK(space_->ApplyAllocPage(rec.store, rec.page));
+        break;
+      case LogRecordType::kCatalog: {
+        TableInfo info;
+        SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(rec.after, &info));
+        max_store = std::max(max_store, std::max(info.heap_store,
+                                                 info.index_store));
+        RegisterTable(info);
+        break;
+      }
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort:
+        losers.erase(rec.txn);
+        break;
+      default:
+        break;
+    }
+    if (rec.txn != kInvalidTxnId &&
+        rec.type != LogRecordType::kCommit &&
+        rec.type != LogRecordType::kAbort) {
+      losers[rec.txn] = rec.lsn;
+    }
+    return Status::Ok();
+  }));
+  next_store_.store(max_store + 1, std::memory_order_relaxed);
+
+  // --- Redo: replay history from the checkpoint's low-water mark.
+  SHOREMT_RETURN_NOT_OK(log_->Scan(
+      [&](const log::LogRecord& rec, Lsn end) {
+        return RedoRecord(rec, end);
+      },
+      redo_start));
+
+  // --- Undo: roll back losers (newest first), logging CLRs so a crash
+  // during recovery is itself recoverable.
+  for (auto it = losers.rbegin(); it != losers.rend(); ++it) {
+    TxnId txn_id = it->first;
+    Lsn cursor = it->second;
+    while (!cursor.IsNull()) {
+      SHOREMT_ASSIGN_OR_RETURN(log::LogRecord rec, log_->ReadRecord(cursor));
+      if (rec.type == log::LogRecordType::kClr) {
+        cursor = rec.undo_next;
+        continue;
+      }
+      SHOREMT_RETURN_NOT_OK(UndoRecord(nullptr, txn_id, rec));
+      cursor = rec.prev_lsn;
+    }
+    log::LogRecord done;
+    done.type = log::LogRecordType::kAbort;
+    done.txn = txn_id;
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(done));
+    SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
+  }
+  SHOREMT_RETURN_NOT_OK(log_->FlushAll());
+  return Status::Ok();
+}
+
+}  // namespace shoremt::sm

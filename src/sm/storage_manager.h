@@ -1,0 +1,155 @@
+#ifndef SHOREMT_SM_STORAGE_MANAGER_H_
+#define SHOREMT_SM_STORAGE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "io/volume.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "sm/options.h"
+#include "space/space_manager.h"
+#include "txn/txn_manager.h"
+
+namespace shoremt::sm {
+
+/// A user table: a heap store for rows plus a unique B+Tree index mapping
+/// 64-bit keys to row RecordIds.
+struct TableInfo {
+  std::string name;
+  StoreId heap_store = kInvalidStoreId;
+  StoreId index_store = kInvalidStoreId;
+  PageNum index_root = kInvalidPageNum;
+};
+
+/// The public storage manager facade — the "value-added server" API of the
+/// original Shore. Owns every subsystem: buffer pool, log, locks,
+/// transactions, free space, B+Tree indexes.
+///
+/// Typical use:
+///   auto sm = StorageManager::Open(StorageOptions::ForStage(Stage::kFinal),
+///                                  &volume, &log_storage);
+///   auto* txn = (*sm)->Begin();
+///   auto table = (*sm)->CreateTable(txn, "accounts");
+///   (*sm)->Insert(txn, *table, /*key=*/1, payload);
+///   (*sm)->Commit(txn);
+class StorageManager {
+ public:
+  /// Opens a storage manager over `volume` + `log_storage` (both owned by
+  /// the caller and must outlive the manager — they are the durable state
+  /// that survives simulated crashes). If the log is non-empty, crash
+  /// recovery (analysis/redo/undo) runs before Open returns.
+  static Result<std::unique_ptr<StorageManager>> Open(
+      StorageOptions options, io::Volume* volume,
+      log::LogStorage* log_storage);
+
+  ~StorageManager();
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  // --- transactions -------------------------------------------------------
+
+  txn::Transaction* Begin() { return txns_->Begin(); }
+  Status Commit(txn::Transaction* txn) { return txns_->Commit(txn); }
+  Status Abort(txn::Transaction* txn) { return txns_->Abort(txn); }
+
+  // --- DDL ----------------------------------------------------------------
+
+  /// Creates a table (heap + index). The catalog entry is logged and
+  /// survives recovery.
+  Result<TableInfo> CreateTable(txn::Transaction* txn,
+                                const std::string& name);
+  /// Looks up a table by name.
+  Result<TableInfo> OpenTable(const std::string& name) const;
+
+  // --- DML (key → row payload) --------------------------------------------
+
+  /// Inserts a row; locks the new row exclusively; indexes `key`.
+  Result<RecordId> Insert(txn::Transaction* txn, const TableInfo& table,
+                          uint64_t key, std::span<const uint8_t> payload);
+  /// Reads the row for `key` under a shared row lock.
+  Result<std::vector<uint8_t>> Read(txn::Transaction* txn,
+                                    const TableInfo& table, uint64_t key);
+  /// Replaces the row payload for `key` under an exclusive row lock.
+  Status Update(txn::Transaction* txn, const TableInfo& table, uint64_t key,
+                std::span<const uint8_t> payload);
+  /// Deletes the row for `key` (heap + index) under an exclusive lock.
+  Status Delete(txn::Transaction* txn, const TableInfo& table, uint64_t key);
+  /// Ordered scan of [lo, hi] taking shared row locks; `fn` returns false
+  /// to stop.
+  Status Scan(txn::Transaction* txn, const TableInfo& table, uint64_t lo,
+              uint64_t hi,
+              const std::function<bool(uint64_t, std::span<const uint8_t>)>& fn);
+
+  // --- maintenance ---------------------------------------------------------
+
+  /// Takes a fuzzy checkpoint (blocking or decoupled per options).
+  Result<Lsn> Checkpoint();
+  /// Flushes everything (clean shutdown).
+  Status Shutdown();
+  /// Marks the manager as crashed: the destructor skips the shutdown
+  /// flush, so only WAL-durable state survives into the next Open —
+  /// the hook recovery tests use to simulate power loss.
+  void SimulateCrash() { crashed_ = true; }
+
+  // --- component access (benches, tests, calibration) ----------------------
+
+  buffer::BufferPool* pool() { return pool_.get(); }
+  log::LogManager* log() { return log_.get(); }
+  lock::LockManager* locks() { return locks_.get(); }
+  txn::TxnManager* txns() { return txns_.get(); }
+  space::SpaceManager* space() { return space_.get(); }
+  btree::BTree* index_of(const TableInfo& table);
+  const StorageOptions& options() const { return options_; }
+
+ private:
+  StorageManager(StorageOptions options, io::Volume* volume,
+                 log::LogStorage* log_storage);
+
+  /// ARIES-style restart: analysis, redo, undo.
+  Status Recover();
+  /// Applies one record during redo (idempotent via page LSN).
+  Status RedoRecord(const log::LogRecord& rec, Lsn end);
+  /// Undoes one record on behalf of `txn_id`, logging a CLR. `txn` may be
+  /// null during restart undo.
+  Status UndoRecord(txn::Transaction* txn, TxnId txn_id,
+                    const log::LogRecord& rec);
+
+  /// Registers a table in the in-memory catalog (create or recovery).
+  void RegisterTable(const TableInfo& info);
+  /// Heap row insert: picks/allocates a page with space and places the
+  /// payload (logged).
+  Result<RecordId> HeapInsert(txn::Transaction* txn, StoreId heap_store,
+                              std::span<const uint8_t> payload);
+
+  StorageOptions options_;
+  io::Volume* volume_;
+  log::LogStorage* log_storage_;
+
+  std::unique_ptr<log::LogManager> log_;
+  std::unique_ptr<buffer::BufferPool> pool_;
+  std::unique_ptr<space::SpaceManager> space_;
+  std::unique_ptr<lock::LockManager> locks_;
+  std::unique_ptr<txn::TxnManager> txns_;
+
+  mutable std::mutex catalog_mutex_;
+  std::unordered_map<std::string, TableInfo> catalog_;
+  std::unordered_map<StoreId, std::unique_ptr<btree::BTree>> indexes_;
+  std::atomic<StoreId> next_store_{1};
+  bool crashed_ = false;
+};
+
+}  // namespace shoremt::sm
+
+#endif  // SHOREMT_SM_STORAGE_MANAGER_H_

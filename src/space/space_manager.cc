@@ -1,0 +1,307 @@
+#include "space/space_manager.h"
+
+#include <algorithm>
+
+namespace shoremt::space {
+
+namespace {
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+/// Thread-local extent→store cache, direct-mapped by extent id. Entries
+/// are tagged with the owning SpaceManager instance and its epoch so drops
+/// and manager teardown invalidate them implicitly.
+struct ExtentCacheEntry {
+  uint64_t instance = 0;
+  uint64_t epoch = 0;
+  ExtentId extent = 0;
+  StoreId store = kInvalidStoreId;
+  bool valid = false;
+};
+constexpr size_t kExtentCacheSlots = 16;
+thread_local ExtentCacheEntry t_extent_cache[kExtentCacheSlots];
+
+}  // namespace
+
+SpaceManager::SpaceManager(io::Volume* volume, SpaceOptions options)
+    : volume_(volume),
+      options_(options),
+      mutex_stats_("space.mutex"),
+      space_mutex_(options.mutex_kind, &mutex_stats_),
+      instance_id_(g_next_instance_id.fetch_add(1)) {
+  sync::SyncStatsRegistry::Instance().Register(&mutex_stats_);
+  // Page 0 is the volume header; reserve extent 0 so data never lands
+  // there (keeps PageNum 0 == invalid).
+  extents_.push_back(ExtentEntry{kInvalidStoreId, 0xff});
+}
+
+SpaceManager::~SpaceManager() {
+  sync::SyncStatsRegistry::Instance().Unregister(&mutex_stats_);
+}
+
+Status SpaceManager::CreateStore(StoreId store) {
+  if (store == kInvalidStoreId) {
+    return Status::InvalidArgument("store id 0 is reserved");
+  }
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  if (stores_.contains(store)) {
+    return Status::AlreadyExists("store exists");
+  }
+  stores_.emplace(store, StoreInfo{});
+  return Status::Ok();
+}
+
+Status SpaceManager::DropStore(StoreId store) {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  for (ExtentId e : it->second.extents) {
+    extents_[e] = ExtentEntry{};
+    free_extents_.push_back(e);
+  }
+  stores_.erase(it);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+bool SpaceManager::StoreExists(StoreId store) const {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  return stores_.contains(store);
+}
+
+Result<PageNum> SpaceManager::AllocateLocked(StoreId store) {
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  StoreInfo& info = it->second;
+
+  // Fill the active extent before grabbing another (Shore's pattern).
+  if (info.has_active_extent) {
+    ExtentEntry& e = extents_[info.active_extent];
+    if (e.alloc_bitmap != 0xff) {
+      for (uint32_t i = 0; i < kPagesPerExtent; ++i) {
+        if ((e.alloc_bitmap & (1u << i)) == 0) {
+          e.alloc_bitmap |= (1u << i);
+          PageNum page = info.active_extent * kPagesPerExtent + i;
+          info.pages.push_back(page);
+          info.cached_last_page = page;
+          return page;
+        }
+      }
+    }
+  }
+
+  // Need a new extent: reuse a freed one or append to the volume.
+  ExtentId extent;
+  if (!free_extents_.empty()) {
+    extent = free_extents_.back();
+    free_extents_.pop_back();
+  } else {
+    extent = extents_.size();
+    extents_.push_back(ExtentEntry{});
+  }
+  extents_[extent].owner = store;
+  extents_[extent].alloc_bitmap = 0x01;
+  info.extents.push_back(extent);
+  info.active_extent = extent;
+  info.has_active_extent = true;
+
+  PageNum page = extent * kPagesPerExtent;
+  PageNum needed = (extent + 1) * kPagesPerExtent;
+  if (volume_->NumPages() < needed) {
+    SHOREMT_RETURN_NOT_OK(volume_->Extend(needed));
+  }
+  info.pages.push_back(page);
+  info.cached_last_page = page;
+  return page;
+}
+
+Result<PageNum> SpaceManager::AllocatePage(StoreId store,
+                                           const PageInitFn& init) {
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+  if (options_.refactored_alloc) {
+    // Shore-MT path: allocate under the mutex, initialize after release.
+    PageNum page;
+    {
+      sync::ConfigurableMutex::Guard guard(space_mutex_);
+      auto r = AllocateLocked(store);
+      if (!r.ok()) return r.status();
+      page = *r;
+    }
+    if (init) SHOREMT_RETURN_NOT_OK(init(page));
+    return page;
+  }
+  // Original Shore path: the page latch (and possibly I/O) happens while
+  // the allocation mutex is held, serializing every other allocator.
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto r = AllocateLocked(store);
+  if (!r.ok()) return r.status();
+  if (init) SHOREMT_RETURN_NOT_OK(init(*r));
+  return *r;
+}
+
+Status SpaceManager::FreePage(PageNum page) {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  ExtentId extent = ExtentOf(page);
+  if (extent >= extents_.size()) return Status::NotFound("bad page");
+  ExtentEntry& e = extents_[extent];
+  uint32_t bit = 1u << (page % kPagesPerExtent);
+  if (e.owner == kInvalidStoreId || (e.alloc_bitmap & bit) == 0) {
+    return Status::NotFound("page not allocated");
+  }
+  e.alloc_bitmap &= ~bit;
+  auto it = stores_.find(e.owner);
+  if (it != stores_.end()) {
+    StoreInfo& info = it->second;
+    info.pages.erase(std::remove(info.pages.begin(), info.pages.end(), page),
+                     info.pages.end());
+    if (info.cached_last_page == page) {
+      info.cached_last_page =
+          info.pages.empty() ? kInvalidPageNum : info.pages.back();
+    }
+    if (e.alloc_bitmap == 0) {
+      info.extents.erase(
+          std::remove(info.extents.begin(), info.extents.end(), extent),
+          info.extents.end());
+      if (info.has_active_extent && info.active_extent == extent) {
+        info.has_active_extent = false;
+      }
+      e = ExtentEntry{};
+      free_extents_.push_back(extent);
+    }
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+bool SpaceManager::CacheLookup(ExtentId extent, StoreId* store) const {
+  const ExtentCacheEntry& e = t_extent_cache[extent % kExtentCacheSlots];
+  if (e.valid && e.instance == instance_id_ &&
+      e.epoch == epoch_.load(std::memory_order_acquire) &&
+      e.extent == extent) {
+    *store = e.store;
+    return true;
+  }
+  return false;
+}
+
+void SpaceManager::CacheInsert(ExtentId extent, StoreId store) const {
+  ExtentCacheEntry& e = t_extent_cache[extent % kExtentCacheSlots];
+  e.instance = instance_id_;
+  e.epoch = epoch_.load(std::memory_order_acquire);
+  e.extent = extent;
+  e.store = store;
+  e.valid = true;
+}
+
+Result<StoreId> SpaceManager::OwnerOf(PageNum page) {
+  stats_.ownership_checks.fetch_add(1, std::memory_order_relaxed);
+  ExtentId extent = ExtentOf(page);
+
+  if (options_.extent_cache) {
+    StoreId cached;
+    if (CacheLookup(extent, &cached)) {
+      stats_.ownership_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+
+  StoreId owner = kInvalidStoreId;
+  {
+    sync::ConfigurableMutex::Guard guard(space_mutex_);
+    if (extent >= extents_.size()) return Status::NotFound("bad page");
+    if (options_.full_scan_ownership) {
+      // Original Shore: walk the allocation tables looking for the extent
+      // (logical logging forces a re-verification on every insert).
+      for (ExtentId e = 0; e < extents_.size(); ++e) {
+        if (e == extent) {
+          owner = extents_[e].owner;
+          break;
+        }
+      }
+    } else {
+      owner = extents_[extent].owner;
+    }
+    uint32_t bit = 1u << (page % kPagesPerExtent);
+    if (owner == kInvalidStoreId ||
+        (extents_[extent].alloc_bitmap & bit) == 0) {
+      return Status::NotFound("page not allocated");
+    }
+  }
+  if (options_.extent_cache) CacheInsert(extent, owner);
+  return owner;
+}
+
+Result<PageNum> SpaceManager::LastPageOf(StoreId store) {
+  stats_.last_page_lookups.fetch_add(1, std::memory_order_relaxed);
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  StoreInfo& info = it->second;
+  if (info.pages.empty()) return Status::NotFound("store has no pages");
+  if (options_.last_page_cache && info.cached_last_page != kInvalidPageNum) {
+    return info.cached_last_page;
+  }
+  // Walk the page chain to its end — O(pages) per lookup, O(n^2) per load
+  // (§7.6's "searching a linked list of pages to find the last").
+  PageNum last = kInvalidPageNum;
+  for (PageNum p : info.pages) {
+    stats_.last_page_scan_steps.fetch_add(1, std::memory_order_relaxed);
+    last = p;
+  }
+  return last;
+}
+
+Result<std::vector<PageNum>> SpaceManager::PagesOf(StoreId store) const {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  return it->second.pages;
+}
+
+Result<uint64_t> SpaceManager::PageCountOf(StoreId store) const {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  return static_cast<uint64_t>(it->second.pages.size());
+}
+
+Status SpaceManager::ApplyCreateStore(StoreId store) {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  stores_.try_emplace(store, StoreInfo{});
+  return Status::Ok();
+}
+
+Status SpaceManager::ApplyAllocPage(StoreId store, PageNum page) {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) return Status::NotFound("no such store");
+  StoreInfo& info = it->second;
+  ExtentId extent = ExtentOf(page);
+  while (extents_.size() <= extent) extents_.push_back(ExtentEntry{});
+  ExtentEntry& e = extents_[extent];
+  uint32_t bit = 1u << (page % kPagesPerExtent);
+  if (e.owner == store && (e.alloc_bitmap & bit) != 0) {
+    return Status::Ok();  // Already applied (idempotent redo).
+  }
+  if (e.owner == kInvalidStoreId) {
+    e.owner = store;
+    info.extents.push_back(extent);
+    free_extents_.erase(
+        std::remove(free_extents_.begin(), free_extents_.end(), extent),
+        free_extents_.end());
+  } else if (e.owner != store) {
+    return Status::Corruption("extent owned by another store");
+  }
+  e.alloc_bitmap |= bit;
+  info.pages.push_back(page);
+  info.cached_last_page = page;
+  info.active_extent = extent;
+  info.has_active_extent = true;
+  PageNum needed = (extent + 1) * kPagesPerExtent;
+  if (volume_->NumPages() < needed) {
+    SHOREMT_RETURN_NOT_OK(volume_->Extend(needed));
+  }
+  return Status::Ok();
+}
+
+}  // namespace shoremt::space

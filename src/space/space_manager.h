@@ -1,0 +1,132 @@
+#ifndef SHOREMT_SPACE_SPACE_MANAGER_H_
+#define SHOREMT_SPACE_SPACE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "io/volume.h"
+#include "sync/configurable_mutex.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::space {
+
+/// Tuning knobs for the free space manager. The defaults are the Shore-MT
+/// "final" configuration; the baseline presets in sm/options.h flip these
+/// back to reproduce each optimization stage (§6.2.2, §7.3, §7.6, §7.7).
+struct SpaceOptions {
+  /// Mutex protecting the allocation tables (the Figure 6 sweep).
+  sync::MutexKind mutex_kind = sync::MutexKind::kMcs;
+  /// If true, the page-initialization callback passed to AllocatePage runs
+  /// *after* the allocation mutex is released (the Figure 6 "Refactor"); if
+  /// false it runs inside the critical section, serializing allocations
+  /// behind page latch acquisition and possible I/O.
+  bool refactored_alloc = true;
+  /// Thread-local cache of recent extent→store lookups; cuts metadata
+  /// checks per record insert by >95% (§6.2.2 problem 1).
+  bool extent_cache = true;
+  /// Per-store cached last page; otherwise finding the append target walks
+  /// the store's page list — the O(n^2) insertion pattern of §7.6.
+  bool last_page_cache = true;
+  /// Emulates original Shore's logical-logging ownership verification by
+  /// scanning the whole extent table instead of indexing into it.
+  bool full_scan_ownership = false;
+};
+
+/// Counters exposed for benches and the calibration harness.
+struct SpaceStats {
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> ownership_checks{0};
+  std::atomic<uint64_t> ownership_cache_hits{0};
+  std::atomic<uint64_t> last_page_lookups{0};
+  std::atomic<uint64_t> last_page_scan_steps{0};
+};
+
+/// Free space and metadata manager (§2.2.6): owns the extent map (which
+/// store each 8-page extent belongs to, which pages in it are allocated)
+/// and the per-store page lists. Pages are handed out extent-at-a-time per
+/// store, filling each extent before grabbing the next — the access
+/// pattern that makes the thread-local extent cache effective.
+class SpaceManager {
+ public:
+  /// Runs with the new page number before the allocation is published;
+  /// typically fixes the page in the buffer pool and formats it.
+  using PageInitFn = std::function<Status(PageNum)>;
+
+  SpaceManager(io::Volume* volume, SpaceOptions options);
+  ~SpaceManager();
+
+  SpaceManager(const SpaceManager&) = delete;
+  SpaceManager& operator=(const SpaceManager&) = delete;
+
+  /// Registers a store. Fails with AlreadyExists if present.
+  Status CreateStore(StoreId store);
+  /// Removes a store and releases its extents.
+  Status DropStore(StoreId store);
+  bool StoreExists(StoreId store) const;
+
+  /// Allocates one page for `store`, growing the volume when needed, and
+  /// runs `init` on it (inside or outside the critical section depending
+  /// on SpaceOptions::refactored_alloc).
+  Result<PageNum> AllocatePage(StoreId store, const PageInitFn& init);
+  /// Returns `page` to the free pool.
+  Status FreePage(PageNum page);
+
+  /// Store owning `page` (the per-insert metadata check of §6.2.2).
+  Result<StoreId> OwnerOf(PageNum page);
+  /// The current append target of `store` (last allocated page).
+  Result<PageNum> LastPageOf(StoreId store);
+  /// All pages of `store` in allocation order (heap scans, drop, redo).
+  Result<std::vector<PageNum>> PagesOf(StoreId store) const;
+  /// Number of pages allocated to `store`.
+  Result<uint64_t> PageCountOf(StoreId store) const;
+
+  /// Idempotent redo hooks used by recovery to rebuild the maps.
+  Status ApplyCreateStore(StoreId store);
+  Status ApplyAllocPage(StoreId store, PageNum page);
+
+  const SpaceStats& stats() const { return stats_; }
+  const SpaceOptions& options() const { return options_; }
+
+ private:
+  struct ExtentEntry {
+    StoreId owner = kInvalidStoreId;
+    uint8_t alloc_bitmap = 0;  ///< Bit i set = page i of the extent in use.
+  };
+
+  struct StoreInfo {
+    std::vector<ExtentId> extents;
+    std::vector<PageNum> pages;     ///< Allocation order (page chain).
+    ExtentId active_extent = 0;     ///< Extent currently being filled.
+    bool has_active_extent = false;
+    PageNum cached_last_page = kInvalidPageNum;
+  };
+
+  /// Allocation under space_mutex_; returns the new page and whether the
+  /// volume must grow to `volume_pages_needed`.
+  Result<PageNum> AllocateLocked(StoreId store);
+  /// Consults/updates the thread-local extent cache.
+  bool CacheLookup(ExtentId extent, StoreId* store) const;
+  void CacheInsert(ExtentId extent, StoreId store) const;
+
+  io::Volume* volume_;
+  SpaceOptions options_;
+  sync::SyncStats mutex_stats_;
+  mutable sync::ConfigurableMutex space_mutex_;
+  std::vector<ExtentEntry> extents_;
+  std::vector<ExtentId> free_extents_;
+  std::unordered_map<StoreId, StoreInfo> stores_;
+  SpaceStats stats_;
+  /// Bumped on DropStore so stale thread-local cache entries miss.
+  std::atomic<uint64_t> epoch_{1};
+  /// Distinguishes this instance in the shared thread-local cache.
+  const uint64_t instance_id_;
+};
+
+}  // namespace shoremt::space
+
+#endif  // SHOREMT_SPACE_SPACE_MANAGER_H_

@@ -1,0 +1,46 @@
+#ifndef SHOREMT_SYNC_BACKOFF_H_
+#define SHOREMT_SYNC_BACKOFF_H_
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace shoremt::sync {
+
+/// One CPU relax hint (PAUSE on x86, YIELD elsewhere when available).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff for spin loops: spins with PAUSE, doubling the spin
+/// budget each round, then falls back to yielding the OS thread. This keeps
+/// single-core test machines live (a pure spin would starve the holder).
+class Backoff {
+ public:
+  void Pause() {
+    if (spins_ < kMaxSpins) {
+      for (int i = 0; i < spins_; ++i) CpuRelax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() { spins_ = 1; }
+
+ private:
+  static constexpr int kMaxSpins = 1024;
+  int spins_ = 1;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_BACKOFF_H_

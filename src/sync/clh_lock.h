@@ -1,0 +1,120 @@
+#ifndef SHOREMT_SYNC_CLH_LOCK_H_
+#define SHOREMT_SYNC_CLH_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/backoff.h"
+
+namespace shoremt::sync {
+
+/// CLH queue lock (Craig; Magnussen, Landin & Hagersten — the paper's
+/// references [9] and [23]). FIFO with O(1) handoff like MCS, but waiters
+/// spin on their *predecessor's* node, which removes the successor link at
+/// the cost of nodes migrating between threads: each release donates the
+/// holder's node to its successor and adopts the predecessor's node for
+/// the next acquisition.
+///
+/// Because donated nodes outlive the acquiring scope, nodes are heap
+/// objects owned by the lock (freed in the destructor), and each thread's
+/// current node is tracked in a thread-local map. Satisfies the C++
+/// Lockable concept.
+class ClhLock {
+ public:
+  ClhLock() {
+    // Initialized in the body: NewNode() uses nodes_mutex_ / all_nodes_,
+    // which are declared (and therefore constructed) after the pointers.
+    stub_ = NewNode();
+    stub_->locked.store(false, std::memory_order_relaxed);
+    tail_.store(stub_, std::memory_order_relaxed);
+  }
+  ~ClhLock() {
+    for (QNode* n : all_nodes_) delete n;
+  }
+
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void lock() {
+    ThreadSlot& slot = MySlot();
+    slot.node->locked.store(true, std::memory_order_relaxed);
+    QNode* prev = tail_.exchange(slot.node, std::memory_order_acq_rel);
+    Backoff backoff;
+    while (prev->locked.load(std::memory_order_acquire)) backoff.Pause();
+    slot.prev = prev;
+  }
+
+  bool try_lock() {
+    ThreadSlot& slot = MySlot();
+    QNode* expected = tail_.load(std::memory_order_acquire);
+    if (expected->locked.load(std::memory_order_acquire)) return false;
+    slot.node->locked.store(true, std::memory_order_relaxed);
+    if (!tail_.compare_exchange_strong(expected, slot.node,
+                                       std::memory_order_acq_rel)) {
+      return false;
+    }
+    // `expected` is the unlocked predecessor we verified above; but it may
+    // have been re-locked between the check and the swap — spin briefly.
+    Backoff backoff;
+    while (expected->locked.load(std::memory_order_acquire)) backoff.Pause();
+    slot.prev = expected;
+    return true;
+  }
+
+  void unlock() {
+    ThreadSlot& slot = MySlot();
+    QNode* mine = slot.node;
+    slot.node = slot.prev;  // Adopt the predecessor's node.
+    slot.prev = nullptr;
+    mine->locked.store(false, std::memory_order_release);
+  }
+
+  bool IsLocked() const {
+    return tail_.load(std::memory_order_acquire)
+        ->locked.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct QNode {
+    std::atomic<bool> locked{false};
+  };
+  struct ThreadSlot {
+    QNode* node = nullptr;
+    QNode* prev = nullptr;
+  };
+
+  QNode* NewNode() {
+    QNode* n = new QNode();
+    std::lock_guard<std::mutex> guard(nodes_mutex_);
+    all_nodes_.push_back(n);
+    return n;
+  }
+
+  /// Per-(thread, lock-instance) slot; nodes live until the lock is
+  /// destroyed. Keyed by a unique instance id, not the address, so a new
+  /// lock reusing a freed address cannot inherit stale node pointers.
+  ThreadSlot& MySlot() {
+    thread_local std::unordered_map<uint64_t, ThreadSlot> slots;
+    ThreadSlot& slot = slots[instance_id_];
+    if (slot.node == nullptr) slot.node = NewNode();
+    return slot;
+  }
+
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const uint64_t instance_id_ = NextInstanceId();
+  std::mutex nodes_mutex_;
+  std::vector<QNode*> all_nodes_;
+  QNode* stub_ = nullptr;
+  std::atomic<QNode*> tail_{nullptr};
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_CLH_LOCK_H_

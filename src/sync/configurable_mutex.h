@@ -1,0 +1,85 @@
+#ifndef SHOREMT_SYNC_CONFIGURABLE_MUTEX_H_
+#define SHOREMT_SYNC_CONFIGURABLE_MUTEX_H_
+
+#include <mutex>
+
+#include "sync/mcs_lock.h"
+#include "sync/spinlock.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::sync {
+
+/// Which mutex implementation a component should use. The Figure 6
+/// experiment sweeps exactly this knob on the free space manager: pthread
+/// (blocking) → T&T&S → MCS.
+enum class MutexKind : uint8_t {
+  kPthread,  ///< OS blocking mutex (std::mutex).
+  kTtas,     ///< Test-and-test-and-set spinlock.
+  kMcs,      ///< MCS queue lock.
+};
+
+/// Mutex whose implementation is chosen at construction. Acquire through
+/// ConfigurableMutex::Guard (MCS needs a per-acquisition queue node, so a
+/// plain lock()/unlock() interface cannot cover all kinds).
+class ConfigurableMutex {
+ public:
+  explicit ConfigurableMutex(MutexKind kind, SyncStats* stats = nullptr)
+      : kind_(kind), ttas_(stats), mcs_(stats), stats_(stats) {}
+
+  ConfigurableMutex(const ConfigurableMutex&) = delete;
+  ConfigurableMutex& operator=(const ConfigurableMutex&) = delete;
+
+  MutexKind kind() const { return kind_; }
+
+  /// RAII guard; holds the mutex for its lifetime.
+  class Guard {
+   public:
+    explicit Guard(ConfigurableMutex& m) : m_(m) {
+      switch (m_.kind_) {
+        case MutexKind::kPthread:
+          m_.os_.lock();
+          if (m_.stats_ != nullptr) m_.stats_->RecordAcquire(false, 0);
+          break;
+        case MutexKind::kTtas:
+          m_.ttas_.lock();
+          break;
+        case MutexKind::kMcs:
+          m_.mcs_.Acquire(&node_);
+          break;
+      }
+    }
+    ~Guard() {
+      switch (m_.kind_) {
+        case MutexKind::kPthread:
+          m_.os_.unlock();
+          break;
+        case MutexKind::kTtas:
+          m_.ttas_.unlock();
+          break;
+        case MutexKind::kMcs:
+          m_.mcs_.Release(&node_);
+          break;
+      }
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    ConfigurableMutex& m_;
+    McsLock::QNode node_;
+  };
+
+ private:
+  friend class Guard;
+
+  MutexKind kind_;
+  std::mutex os_;
+  TtasLock ttas_;
+  McsLock mcs_;
+  SyncStats* stats_;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_CONFIGURABLE_MUTEX_H_

@@ -1,0 +1,84 @@
+#ifndef SHOREMT_SYNC_LOCKFREE_STACK_H_
+#define SHOREMT_SYNC_LOCKFREE_STACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace shoremt::sync {
+
+/// Lock-free Treiber stack over a fixed pool of slots, addressed by index.
+/// The head packs {32-bit ABA tag, 32-bit slot index} into one 64-bit word
+/// so push/pop are single compare-and-swap operations — the structure the
+/// paper uses for the lock manager's request pool (§7.5: "we reimplemented
+/// it as a lock-free stack where threads can push or pop requests using a
+/// single compare-and-swap operation").
+///
+/// The stack stores indices only; the caller owns the actual objects (e.g.
+/// a vector of lock-request structs indexed the same way).
+class LockFreeIndexStack {
+ public:
+  static constexpr uint32_t kNull = 0xffffffffu;
+
+  /// Creates a stack able to hold indices in [0, capacity). Initially empty.
+  explicit LockFreeIndexStack(uint32_t capacity)
+      : next_(capacity), head_(Pack(0, kNull)) {
+    for (auto& n : next_) n.store(kNull, std::memory_order_relaxed);
+  }
+
+  LockFreeIndexStack(const LockFreeIndexStack&) = delete;
+  LockFreeIndexStack& operator=(const LockFreeIndexStack&) = delete;
+
+  /// Pushes slot `index`; the slot must not currently be on the stack.
+  void Push(uint32_t index) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      next_[index].store(IndexOf(head), std::memory_order_relaxed);
+      uint64_t desired = Pack(TagOf(head) + 1, index);
+      if (head_.compare_exchange_weak(head, desired,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Pops the most recently pushed index, or nullopt when empty.
+  std::optional<uint32_t> Pop() {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      uint32_t index = IndexOf(head);
+      if (index == kNull) return std::nullopt;
+      uint32_t next = next_[index].load(std::memory_order_relaxed);
+      uint64_t desired = Pack(TagOf(head) + 1, next);
+      if (head_.compare_exchange_weak(head, desired,
+                                      std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        return index;
+      }
+    }
+  }
+
+  bool Empty() const {
+    return IndexOf(head_.load(std::memory_order_acquire)) == kNull;
+  }
+
+ private:
+  static uint64_t Pack(uint32_t tag, uint32_t index) {
+    return (static_cast<uint64_t>(tag) << 32) | index;
+  }
+  static uint32_t TagOf(uint64_t word) {
+    return static_cast<uint32_t>(word >> 32);
+  }
+  static uint32_t IndexOf(uint64_t word) {
+    return static_cast<uint32_t>(word);
+  }
+
+  std::vector<std::atomic<uint32_t>> next_;
+  std::atomic<uint64_t> head_;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_LOCKFREE_STACK_H_

@@ -1,0 +1,99 @@
+#ifndef SHOREMT_SYNC_MCS_LOCK_H_
+#define SHOREMT_SYNC_MCS_LOCK_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "sync/backoff.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::sync {
+
+/// MCS queuing spinlock (Mellor-Crummey & Scott). Waiters enqueue a local
+/// node and spin on their *own* cache line; release hands the lock to the
+/// successor with a single store. FIFO-fair, O(1) handoff regardless of the
+/// number of waiters — the scalable primitive Shore-MT adopts for contended
+/// critical sections (§6.1).
+class McsLock {
+ public:
+  /// Queue node. Typically stack-allocated in the acquiring scope; must
+  /// stay alive until unlock() returns.
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> ready{false};
+  };
+
+  McsLock() = default;
+  explicit McsLock(SyncStats* stats) : stats_(stats) {}
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Acquire(QNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->ready.store(false, std::memory_order_relaxed);
+    QNode* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    if (prev == nullptr) {
+      if (stats_ != nullptr) stats_->RecordAcquire(false, 0);
+      return;  // Lock was free.
+    }
+    uint64_t start = stats_ != nullptr ? NowNanos() : 0;
+    prev->next.store(node, std::memory_order_release);
+    Backoff backoff;
+    while (!node->ready.load(std::memory_order_acquire)) backoff.Pause();
+    if (stats_ != nullptr) stats_->RecordAcquire(true, NowNanos() - start);
+  }
+
+  /// Acquires only if the lock is free (no queue join on failure).
+  bool TryAcquire(QNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->ready.store(false, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    bool ok = tail_.compare_exchange_strong(expected, node,
+                                            std::memory_order_acq_rel);
+    if (ok && stats_ != nullptr) stats_->RecordAcquire(false, 0);
+    return ok;
+  }
+
+  void Release(QNode* node) {
+    QNode* succ = node->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;  // No waiter.
+      }
+      // A waiter is linking itself in; wait for the pointer to appear.
+      Backoff backoff;
+      while ((succ = node->next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.Pause();
+      }
+    }
+    succ->ready.store(true, std::memory_order_release);
+  }
+
+  bool IsLocked() const {
+    return tail_.load(std::memory_order_relaxed) != nullptr;
+  }
+
+ private:
+  std::atomic<QNode*> tail_{nullptr};
+  SyncStats* stats_ = nullptr;
+};
+
+/// RAII guard for McsLock; owns the queue node on the stack.
+class McsGuard {
+ public:
+  explicit McsGuard(McsLock& lock) : lock_(lock) { lock_.Acquire(&node_); }
+  ~McsGuard() { lock_.Release(&node_); }
+
+  McsGuard(const McsGuard&) = delete;
+  McsGuard& operator=(const McsGuard&) = delete;
+
+ private:
+  McsLock& lock_;
+  McsLock::QNode node_;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_MCS_LOCK_H_

@@ -1,0 +1,73 @@
+#include "sync/rw_latch.h"
+
+#include "common/clock.h"
+#include "sync/backoff.h"
+
+namespace shoremt::sync {
+
+void RwLatch::Acquire(LatchMode mode) {
+  if (TryAcquire(mode)) {
+    if (stats_ != nullptr) stats_->RecordAcquire(false, 0);
+    return;
+  }
+  uint64_t start = stats_ != nullptr ? NowNanos() : 0;
+  Backoff backoff;
+  if (mode == LatchMode::kExclusive) {
+    // Announce the waiting writer so new readers hold off.
+    word_.fetch_or(kWriterWaitBit, std::memory_order_relaxed);
+    for (;;) {
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if ((cur & (kWriterBit | kReaderMask)) == 0) {
+        if (word_.compare_exchange_weak(cur, kWriterBit,
+                                        std::memory_order_acquire)) {
+          break;
+        }
+      } else {
+        backoff.Pause();
+        // Keep the wait bit asserted (another writer may have cleared it
+        // when it acquired and released).
+        word_.fetch_or(kWriterWaitBit, std::memory_order_relaxed);
+      }
+    }
+  } else {
+    while (!TryAcquire(LatchMode::kShared)) backoff.Pause();
+  }
+  if (stats_ != nullptr) stats_->RecordAcquire(true, NowNanos() - start);
+}
+
+bool RwLatch::TryAcquire(LatchMode mode) {
+  uint32_t cur = word_.load(std::memory_order_relaxed);
+  if (mode == LatchMode::kShared) {
+    // Readers defer to an active or waiting writer.
+    if ((cur & (kWriterBit | kWriterWaitBit)) != 0) return false;
+    return word_.compare_exchange_strong(cur, cur + 1,
+                                         std::memory_order_acquire);
+  }
+  if ((cur & (kWriterBit | kReaderMask)) != 0) return false;
+  // Clears any wait bit: the acquiring writer is no longer waiting.
+  return word_.compare_exchange_strong(cur, kWriterBit,
+                                       std::memory_order_acquire);
+}
+
+void RwLatch::Release(LatchMode mode) {
+  if (mode == LatchMode::kShared) {
+    word_.fetch_sub(1, std::memory_order_release);
+  } else {
+    // Preserve the writer-wait bit for queued writers.
+    word_.fetch_and(~kWriterBit, std::memory_order_release);
+  }
+}
+
+bool RwLatch::TryUpgrade() {
+  uint32_t expected = 1;  // Sole reader, no writer, no waiter.
+  return word_.compare_exchange_strong(expected, kWriterBit,
+                                       std::memory_order_acq_rel);
+}
+
+void RwLatch::Downgrade() {
+  // From writer (possibly with wait bit) to one reader; keep the wait bit
+  // cleared — the downgrading holder outranks queued writers by design.
+  word_.store(1, std::memory_order_release);
+}
+
+}  // namespace shoremt::sync

@@ -1,0 +1,88 @@
+#ifndef SHOREMT_SYNC_SPINLOCK_H_
+#define SHOREMT_SYNC_SPINLOCK_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "sync/backoff.h"
+#include "sync/sync_stats.h"
+
+namespace shoremt::sync {
+
+/// Plain test-and-set spinlock. Every spin iteration performs a store-intent
+/// atomic exchange, so waiters keep invalidating the lock cache line — the
+/// primitive the paper blames for BerkeleyDB's collapse under contention.
+/// Kept in the tree as a baseline; satisfies the C++ Lockable concept so it
+/// works with std::lock_guard.
+class TatasLock {
+ public:
+  TatasLock() = default;
+  explicit TatasLock(SyncStats* stats) : stats_(stats) {}
+  TatasLock(const TatasLock&) = delete;
+  TatasLock& operator=(const TatasLock&) = delete;
+
+  void lock() {
+    if (try_lock()) {
+      if (stats_ != nullptr) stats_->RecordAcquire(false, 0);
+      return;
+    }
+    uint64_t start = stats_ != nullptr ? NowNanos() : 0;
+    Backoff backoff;
+    while (!try_lock()) backoff.Pause();
+    if (stats_ != nullptr) stats_->RecordAcquire(true, NowNanos() - start);
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+  SyncStats* stats_ = nullptr;
+};
+
+/// Test-and-test-and-set spinlock: waiters spin on a read-only load and only
+/// attempt the exchange when the lock looks free. Cheap when uncontended
+/// (§6.1's first optimization attempt: +90% single-thread throughput) but
+/// still storms the cache line at each release under high contention.
+class TtasLock {
+ public:
+  TtasLock() = default;
+  explicit TtasLock(SyncStats* stats) : stats_(stats) {}
+  TtasLock(const TtasLock&) = delete;
+  TtasLock& operator=(const TtasLock&) = delete;
+
+  void lock() {
+    if (try_lock()) {
+      if (stats_ != nullptr) stats_->RecordAcquire(false, 0);
+      return;
+    }
+    uint64_t start = stats_ != nullptr ? NowNanos() : 0;
+    Backoff backoff;
+    for (;;) {
+      while (flag_.load(std::memory_order_relaxed)) backoff.Pause();
+      if (try_lock()) break;
+    }
+    if (stats_ != nullptr) stats_->RecordAcquire(true, NowNanos() - start);
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+  SyncStats* stats_ = nullptr;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_SPINLOCK_H_

@@ -1,0 +1,70 @@
+#include "sync/sync_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace shoremt::sync {
+
+SyncStatsRegistry& SyncStatsRegistry::Instance() {
+  static SyncStatsRegistry* instance = new SyncStatsRegistry();
+  return *instance;
+}
+
+void SyncStatsRegistry::Lock() const {
+  bool expected = false;
+  while (!lock_.compare_exchange_weak(expected, true,
+                                      std::memory_order_acquire)) {
+    expected = false;
+  }
+}
+
+void SyncStatsRegistry::Unlock() const {
+  lock_.store(false, std::memory_order_release);
+}
+
+void SyncStatsRegistry::Register(SyncStats* stats) {
+  Lock();
+  entries_.push_back(stats);
+  Unlock();
+}
+
+void SyncStatsRegistry::Unregister(SyncStats* stats) {
+  Lock();
+  entries_.erase(std::remove(entries_.begin(), entries_.end(), stats),
+                 entries_.end());
+  Unlock();
+}
+
+std::vector<SyncStats*> SyncStatsRegistry::All() const {
+  Lock();
+  std::vector<SyncStats*> out = entries_;
+  Unlock();
+  return out;
+}
+
+void SyncStatsRegistry::ResetAll() {
+  for (SyncStats* s : All()) s->Reset();
+}
+
+std::string SyncStatsRegistry::Report() const {
+  std::vector<SyncStats*> all = All();
+  std::sort(all.begin(), all.end(), [](const SyncStats* a, const SyncStats* b) {
+    return a->total_hold_ns() > b->total_hold_ns();
+  });
+  std::string out =
+      "critical section            acquires   contended  mean-hold(ns)  "
+      "contention\n";
+  char line[160];
+  for (const SyncStats* s : all) {
+    if (s->acquires() == 0) continue;
+    std::snprintf(line, sizeof(line), "%-28s %9llu  %10llu  %13.0f  %9.1f%%\n",
+                  s->name().c_str(),
+                  static_cast<unsigned long long>(s->acquires()),
+                  static_cast<unsigned long long>(s->contended()),
+                  s->MeanHoldNs(), 100.0 * s->ContentionRate());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace shoremt::sync

@@ -1,0 +1,103 @@
+#ifndef SHOREMT_SYNC_SYNC_STATS_H_
+#define SHOREMT_SYNC_SYNC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shoremt::sync {
+
+/// Contention counters for one synchronization primitive instance. This is
+/// the reproduction's stand-in for the paper's `collect` profiler: benches
+/// read these to find which critical sections dominate, and the simulator
+/// calibration uses the hold-time means as service times.
+///
+/// All counters are relaxed atomics: they tolerate small races in exchange
+/// for not perturbing the critical sections they observe.
+class SyncStats {
+ public:
+  explicit SyncStats(std::string name) : name_(std::move(name)) {}
+
+  void RecordAcquire(bool contended, uint64_t wait_ns) {
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    }
+  }
+  void RecordHold(uint64_t hold_ns) {
+    hold_ns_.fetch_add(hold_ns, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t acquires() const { return acquires_.load(std::memory_order_relaxed); }
+  uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_wait_ns() const {
+    return wait_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_hold_ns() const {
+    return hold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Mean critical-section length, nanoseconds (0 if never held).
+  double MeanHoldNs() const {
+    uint64_t n = acquires();
+    return n == 0 ? 0.0 : static_cast<double>(total_hold_ns()) /
+                              static_cast<double>(n);
+  }
+  /// Fraction of acquisitions that found the primitive held.
+  double ContentionRate() const {
+    uint64_t n = acquires();
+    return n == 0 ? 0.0 : static_cast<double>(contended()) /
+                              static_cast<double>(n);
+  }
+
+  void Reset() {
+    acquires_.store(0, std::memory_order_relaxed);
+    contended_.store(0, std::memory_order_relaxed);
+    wait_ns_.store(0, std::memory_order_relaxed);
+    hold_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> contended_{0};
+  std::atomic<uint64_t> wait_ns_{0};
+  std::atomic<uint64_t> hold_ns_{0};
+};
+
+/// Process-wide registry so benches can dump every instrumented critical
+/// section. Registration is optional and happens at component construction.
+class SyncStatsRegistry {
+ public:
+  static SyncStatsRegistry& Instance();
+
+  /// Registers `stats`; the caller retains ownership and must keep it alive
+  /// for the registry's lifetime (components own their stats objects).
+  void Register(SyncStats* stats);
+  void Unregister(SyncStats* stats);
+
+  /// Snapshot of all registered stats pointers.
+  std::vector<SyncStats*> All() const;
+
+  /// Resets every registered counter (used between bench phases).
+  void ResetAll();
+
+  /// Formats a profiler-style report sorted by total hold time.
+  std::string Report() const;
+
+ private:
+  mutable std::atomic<bool> lock_{false};
+  std::vector<SyncStats*> entries_;
+
+  void Lock() const;
+  void Unlock() const;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_SYNC_STATS_H_

@@ -1,0 +1,43 @@
+#ifndef SHOREMT_SYNC_TICKET_LOCK_H_
+#define SHOREMT_SYNC_TICKET_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/backoff.h"
+
+namespace shoremt::sync {
+
+/// FIFO ticket spinlock: one fetch-add to take a ticket, spin until the
+/// grant counter reaches it. Fair like MCS but all waiters share the grant
+/// cache line, so handoff cost grows with waiter count — between TATAS and
+/// MCS in scalability. Satisfies the C++ Lockable concept.
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() {
+    uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (grant_.load(std::memory_order_acquire) != ticket) backoff.Pause();
+  }
+
+  bool try_lock() {
+    uint32_t g = grant_.load(std::memory_order_acquire);
+    uint32_t expected = g;
+    return next_.compare_exchange_strong(expected, g + 1,
+                                         std::memory_order_acq_rel);
+  }
+
+  void unlock() { grant_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t> next_{0};
+  std::atomic<uint32_t> grant_{0};
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_TICKET_LOCK_H_

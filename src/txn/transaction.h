@@ -1,0 +1,52 @@
+#ifndef SHOREMT_TXN_TRANSACTION_H_
+#define SHOREMT_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "lock/lock_id.h"
+
+namespace shoremt::txn {
+
+enum class TxnState : uint8_t {
+  kActive,
+  kCommitted,
+  kAborted,
+};
+
+/// One transaction's bookkeeping. Owned by the TxnManager; not shared
+/// across worker threads (each transaction runs on one thread at a time,
+/// the classic storage-manager threading model).
+struct Transaction {
+  TxnId id = kInvalidTxnId;
+  TxnState state = TxnState::kActive;
+
+  /// First/last WAL record of this transaction (undo chain endpoints).
+  Lsn first_lsn;
+  Lsn last_lsn;
+  /// End LSN of the newest record (commit-flush target).
+  Lsn last_end;
+
+  /// Locks held, in acquisition order (released in reverse at end).
+  std::vector<lock::LockId> held_locks;
+  /// Fast dedupe of held_locks.
+  std::unordered_set<lock::LockId, lock::LockIdHash> held_set;
+
+  /// Row locks taken per store — drives lock escalation.
+  std::unordered_map<StoreId, uint32_t> row_lock_counts;
+  /// Stores where this transaction escalated to a store-level lock.
+  std::unordered_set<StoreId> escalated_stores;
+
+  bool Holds(const lock::LockId& id) const { return held_set.contains(id); }
+
+  void RememberLock(const lock::LockId& id) {
+    if (held_set.insert(id).second) held_locks.push_back(id);
+  }
+};
+
+}  // namespace shoremt::txn
+
+#endif  // SHOREMT_TXN_TRANSACTION_H_

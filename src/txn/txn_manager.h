@@ -1,0 +1,123 @@
+#ifndef SHOREMT_TXN_TXN_MANAGER_H_
+#define SHOREMT_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "txn/transaction.h"
+
+namespace shoremt::txn {
+
+/// Transaction manager knobs; defaults = Shore-MT "final".
+struct TxnOptions {
+  /// Keep the oldest active transaction id in an atomically-readable
+  /// variable, updated by committing transactions, instead of scanning the
+  /// active list under its mutex on every query (§7.3).
+  bool oldest_txn_cache = true;
+  /// Row locks per store before escalating to a store-level lock.
+  uint32_t escalation_threshold = 1000;
+  bool enable_escalation = true;
+};
+
+struct TxnStats {
+  std::atomic<uint64_t> begun{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> escalations{0};
+  std::atomic<uint64_t> oldest_scans{0};
+};
+
+/// Coordinates transaction lifecycle (§2.2.5): begin/commit/abort, strict
+/// two-phase locking via the lock manager, rollback through the WAL undo
+/// chain, and checkpoint generation.
+class TxnManager {
+ public:
+  /// Applies the inverse of `rec` to the database and logs a CLR; wired up
+  /// by the storage manager (it owns the buffer pool).
+  using UndoFn = std::function<Status(Transaction*, const log::LogRecord&)>;
+
+  TxnManager(log::LogManager* log, lock::LockManager* locks,
+             TxnOptions options);
+
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  void SetUndoApplier(UndoFn undo) { undo_ = std::move(undo); }
+
+  /// Starts a transaction; the pointer stays valid until Commit/Abort.
+  Transaction* Begin();
+
+  /// Commits: forces the log (if the txn wrote anything), then releases
+  /// locks. The Transaction object is destroyed.
+  Status Commit(Transaction* txn);
+
+  /// Aborts: undoes the txn's updates via the WAL chain (logging CLRs),
+  /// then releases locks and destroys the object.
+  Status Abort(Transaction* txn);
+
+  /// Acquires a record lock plus the intention locks above it, escalating
+  /// to a store lock past the configured threshold.
+  Status LockRecord(Transaction* txn, StoreId store, RecordId rid,
+                    lock::LockMode mode);
+  /// Acquires a store-level lock (table scan / escalation / DDL).
+  Status LockStore(Transaction* txn, StoreId store, lock::LockMode mode);
+
+  /// Oldest active transaction id (kInvalidTxnId when none). With the
+  /// cache enabled this is one atomic load; otherwise it scans the active
+  /// list under the mutex — the §7.3 bottleneck.
+  TxnId OldestActiveTxn() const;
+
+  /// Writes a checkpoint record. `redo_lsn_source` supplies the dirty-page
+  /// low-water mark: the blocking variant scans the buffer pool while
+  /// holding the transaction list still; the decoupled variant reads the
+  /// page cleaner's tracked LSN (§7.7). Returns the checkpoint's LSN.
+  Result<Lsn> TakeCheckpoint(const std::function<Lsn()>& redo_lsn_source);
+
+  /// LSN of the most recent completed checkpoint (null if none).
+  Lsn last_checkpoint() const {
+    return Lsn{last_checkpoint_.load(std::memory_order_acquire)};
+  }
+
+  /// Number of active transactions.
+  size_t ActiveCount() const;
+
+  /// Records that `txn` wrote a WAL record (updates the undo chain tail).
+  void NoteLogged(Transaction* txn, Lsn lsn, Lsn end) {
+    if (txn->first_lsn.IsNull()) txn->first_lsn = lsn;
+    txn->last_lsn = lsn;
+    txn->last_end = end;
+  }
+
+  const TxnStats& stats() const { return stats_; }
+  log::LogManager* log() { return log_; }
+  lock::LockManager* locks() { return locks_; }
+
+ private:
+  /// Removes txn from the active list and refreshes the oldest cache.
+  void Retire(Transaction* txn);
+  void ReleaseAllLocks(Transaction* txn);
+
+  log::LogManager* log_;
+  lock::LockManager* locks_;
+  TxnOptions options_;
+  UndoFn undo_;
+
+  mutable std::mutex active_mutex_;
+  std::map<TxnId, std::unique_ptr<Transaction>> active_;  // Ordered by id.
+  std::atomic<TxnId> next_id_{1};
+  std::atomic<TxnId> oldest_cache_{kInvalidTxnId};
+  std::atomic<uint64_t> last_checkpoint_{0};
+  mutable TxnStats stats_;
+};
+
+}  // namespace shoremt::txn
+
+#endif  // SHOREMT_TXN_TXN_MANAGER_H_

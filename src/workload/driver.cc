@@ -1,0 +1,56 @@
+#include "workload/driver.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace shoremt::workload {
+
+DriverResult RunDriver(int threads, uint64_t warmup_ms, uint64_t duration_ms,
+                       const std::function<bool(int, Rng&)>& txn_fn) {
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measuring, 2 = stop.
+  std::vector<uint64_t> txns(threads, 0);
+  std::vector<uint64_t> aborts(threads, 0);
+  std::vector<Histogram> latencies(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x5eed + 1299721u * (t + 1));
+      while (phase.load(std::memory_order_acquire) < 2) {
+        uint64_t start = NowNanos();
+        bool committed = txn_fn(t, rng);
+        if (phase.load(std::memory_order_acquire) == 1) {
+          if (committed) {
+            ++txns[t];
+            latencies[t].Add(NowNanos() - start);
+          } else {
+            ++aborts[t];
+          }
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
+  uint64_t t0 = NowNanos();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  phase.store(2, std::memory_order_release);
+  uint64_t t1 = NowNanos();
+  for (auto& w : workers) w.join();
+
+  DriverResult r;
+  r.seconds = static_cast<double>(t1 - t0) / 1e9;
+  for (int t = 0; t < threads; ++t) {
+    r.txns += txns[t];
+    r.aborts += aborts[t];
+    r.latency.Merge(latencies[t]);
+  }
+  r.tps = static_cast<double>(r.txns) / r.seconds;
+  r.tps_per_thread = r.tps / threads;
+  return r;
+}
+
+}  // namespace shoremt::workload

@@ -1,0 +1,35 @@
+#ifndef SHOREMT_WORKLOAD_DRIVER_H_
+#define SHOREMT_WORKLOAD_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace shoremt::workload {
+
+/// Result of one multi-threaded measurement.
+struct DriverResult {
+  uint64_t txns = 0;
+  uint64_t aborts = 0;
+  double seconds = 0.0;
+  double tps = 0.0;
+  double tps_per_thread = 0.0;
+  Histogram latency;  ///< Per-transaction latency (ns).
+};
+
+/// Runs `txn_fn` from `threads` worker threads for `duration_ms` after
+/// `warmup_ms`. `txn_fn(thread_id, rng)` executes one transaction and
+/// returns true on commit, false on abort/retry (still counted as work,
+/// not throughput). This is the measurement loop used by the real-engine
+/// benchmarks (the paper's client drivers linked directly against the
+/// engine).
+DriverResult RunDriver(int threads, uint64_t warmup_ms, uint64_t duration_ms,
+                       const std::function<bool(int, Rng&)>& txn_fn);
+
+}  // namespace shoremt::workload
+
+#endif  // SHOREMT_WORKLOAD_DRIVER_H_

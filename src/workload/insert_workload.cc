@@ -1,0 +1,45 @@
+#include "workload/insert_workload.h"
+
+#include <string>
+
+namespace shoremt::workload {
+
+Result<InsertBenchState> SetupInsertBench(sm::StorageManager* sm,
+                                          const InsertBenchConfig& config) {
+  InsertBenchState state;
+  state.tables.resize(config.clients);
+  state.next_key.assign(config.clients, 0);
+  for (int c = 0; c < config.clients; ++c) {
+    auto* txn = sm->Begin();
+    SHOREMT_ASSIGN_OR_RETURN(
+        state.tables[c],
+        sm->CreateTable(txn, "insert_bench_" + std::to_string(c)));
+    SHOREMT_RETURN_NOT_OK(sm->Commit(txn));
+  }
+  return state;
+}
+
+DriverResult RunInsertBench(sm::StorageManager* sm,
+                            const InsertBenchConfig& config,
+                            InsertBenchState* state) {
+  return RunDriver(
+      config.clients, config.warmup_ms, config.duration_ms,
+      [&](int client, Rng& rng) {
+        std::vector<uint8_t> payload(config.record_bytes, 0xab);
+        auto* txn = sm->Begin();
+        uint64_t& key = state->next_key[client];
+        for (uint64_t i = 0; i < config.records_per_commit; ++i) {
+          // Vary a few payload bytes so records are not identical.
+          payload[0] = static_cast<uint8_t>(key);
+          auto rid = sm->Insert(txn, state->tables[client], key, payload);
+          if (!rid.ok()) {
+            (void)sm->Abort(txn);
+            return false;
+          }
+          ++key;
+        }
+        return sm->Commit(txn).ok();
+      });
+}
+
+}  // namespace shoremt::workload

@@ -1,0 +1,43 @@
+#ifndef SHOREMT_WORKLOAD_INSERT_WORKLOAD_H_
+#define SHOREMT_WORKLOAD_INSERT_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sm/storage_manager.h"
+#include "workload/driver.h"
+
+namespace shoremt::workload {
+
+/// The paper's Record Insertion microbenchmark (§3.2): every client owns a
+/// private table backed by a B-Tree index and repeatedly inserts records;
+/// there is no logical contention and (with an in-memory log device) no
+/// I/O on the critical path. Stresses the free space manager, buffer pool
+/// and log manager.
+struct InsertBenchConfig {
+  int clients = 4;
+  uint64_t records_per_commit = 1000;  ///< Paper: 1000 (10000 for MySQL).
+  size_t record_bytes = 100;
+  uint64_t warmup_ms = 100;
+  uint64_t duration_ms = 500;
+};
+
+/// One client's state: its private table and key counter.
+struct InsertBenchState {
+  std::vector<sm::TableInfo> tables;        // One per client.
+  std::vector<uint64_t> next_key;           // Per-client key sequence.
+};
+
+/// Creates the per-client private tables.
+Result<InsertBenchState> SetupInsertBench(sm::StorageManager* sm,
+                                          const InsertBenchConfig& config);
+
+/// Runs the microbenchmark; one "transaction" = records_per_commit inserts
+/// followed by a commit (matching the paper's reporting unit).
+DriverResult RunInsertBench(sm::StorageManager* sm,
+                            const InsertBenchConfig& config,
+                            InsertBenchState* state);
+
+}  // namespace shoremt::workload
+
+#endif  // SHOREMT_WORKLOAD_INSERT_WORKLOAD_H_

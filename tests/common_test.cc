@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace shoremt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("page 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "page 42");
+  EXPECT_EQ(s.ToString(), "NotFound: page 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_FALSE(Status::Ok().IsDeadlock());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.ValueOr(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r(Status::Ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnNotOk(int x) {
+  SHOREMT_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_FALSE(UsesReturnNotOk(-1).ok());
+}
+
+Result<int> Double(int x) {
+  if (x > 100) return Status::InvalidArgument("too big");
+  return 2 * x;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  SHOREMT_ASSIGN_OR_RETURN(int doubled, Double(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = UsesAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_FALSE(UsesAssignOrReturn(1000).ok());
+}
+
+TEST(TypesTest, LsnOrdering) {
+  EXPECT_LT(Lsn{1}, Lsn{2});
+  EXPECT_EQ(Lsn{5}, Lsn{5});
+  EXPECT_TRUE(Lsn::Null().IsNull());
+  EXPECT_FALSE(Lsn{1}.IsNull());
+  EXPECT_LT(Lsn{1}, Lsn::Max());
+}
+
+TEST(TypesTest, RecordIdComparesLexicographically) {
+  RecordId a{1, 5};
+  RecordId b{2, 0};
+  RecordId c{1, 6};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(RecordId{}.IsValid());
+  EXPECT_TRUE(a.IsValid());
+}
+
+TEST(TypesTest, ExtentMapping) {
+  EXPECT_EQ(ExtentOf(0), 0u);
+  EXPECT_EQ(ExtentOf(7), 0u);
+  EXPECT_EQ(ExtentOf(8), 1u);
+  EXPECT_EQ(ExtentOf(17), 2u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, NonUniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NonUniform(255, 1, 3000);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfGenerator zipf(1000, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 1000u);
+}
+
+TEST(ZipfTest, SkewFavorsSmallKeys) {
+  ZipfGenerator zipf(10000, 0.9, 5);
+  int in_top_100 = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 100) ++in_top_100;
+  }
+  // Under uniform sampling the top-100 share would be 1%; with theta=0.9
+  // it must be dramatically larger.
+  EXPECT_GT(in_top_100, kSamples / 5);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.Add(100);
+  h.Add(200);
+  h.Add(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, PercentileMonotonic) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(1000000));
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.9));
+  EXPECT_LE(h.Percentile(0.9), h.Percentile(0.99));
+  EXPECT_LE(h.Percentile(0.99), h.max());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_EQ(a.min(), 10u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shoremt

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "lock/lock_manager.h"
+
+namespace shoremt::lock {
+namespace {
+
+using enum LockMode;
+
+LockOptions WfgOptions() {
+  LockOptions o;
+  o.deadlock_policy = DeadlockPolicy::kWaitsForGraph;
+  o.timeout_us = 2'000'000;  // Long timeout: detection must not rely on it.
+  return o;
+}
+
+TEST(DeadlockDetectorTest, TwoTxnCycleDetectedImmediately) {
+  LockManager mgr(WfgOptions());
+  LockId a = LockId::Store(1);
+  LockId b = LockId::Store(2);
+  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
+  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
+
+  std::atomic<bool> t1_blocked{false};
+  std::thread t1([&] {
+    t1_blocked.store(true);
+    // Txn 1 waits for b (held by 2).
+    Status st = mgr.Lock(1, b, kX);
+    // Eventually granted once txn 2 is aborted by the detector.
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  while (!t1_blocked.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  // Txn 2 requesting a closes the cycle: it must be chosen as victim
+  // promptly (well under the 2s timeout).
+  uint64_t t0 = NowNanos();
+  Status st = mgr.Lock(2, a, kX);
+  uint64_t elapsed_ms = (NowNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_LT(elapsed_ms, 500u) << "cycle must not wait out the timeout";
+  EXPECT_GE(mgr.stats().cycles_detected.load(), 1u);
+
+  // Victim releases its locks; the waiter drains.
+  ASSERT_TRUE(mgr.Unlock(2, b).ok());
+  t1.join();
+  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  ASSERT_TRUE(mgr.Unlock(1, b).ok());
+}
+
+TEST(DeadlockDetectorTest, ThreeTxnCycleDetected) {
+  LockManager mgr(WfgOptions());
+  LockId a = LockId::Store(1), b = LockId::Store(2), c = LockId::Store(3);
+  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
+  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
+  ASSERT_TRUE(mgr.Lock(3, c, kX).ok());
+
+  std::thread t1([&] { EXPECT_TRUE(mgr.Lock(1, b, kX).ok()); });   // 1→2
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread t2([&] { EXPECT_TRUE(mgr.Lock(2, c, kX).ok()); });   // 2→3
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  // 3→1 closes the 3-cycle.
+  Status st = mgr.Lock(3, a, kX);
+  EXPECT_TRUE(st.IsDeadlock());
+
+  ASSERT_TRUE(mgr.Unlock(3, c).ok());  // Victim unwinds; 2 gets c...
+  t2.join();
+  ASSERT_TRUE(mgr.Unlock(2, b).ok());  // ...then 1 gets b.
+  t1.join();
+  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  ASSERT_TRUE(mgr.Unlock(1, b).ok());
+  ASSERT_TRUE(mgr.Unlock(2, c).ok());
+}
+
+TEST(DeadlockDetectorTest, WaitChainWithoutCycleIsNotAVictim) {
+  LockManager mgr(WfgOptions());
+  LockId a = LockId::Store(1), b = LockId::Store(2);
+  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
+  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
+
+  // 3 waits on a, 2 waits on a: a chain, no cycle — nobody may be killed.
+  std::atomic<int> granted{0};
+  std::thread t3([&] {
+    if (mgr.Lock(3, a, kS).ok()) {
+      granted.fetch_add(1);
+      EXPECT_TRUE(mgr.Unlock(3, a).ok());
+    }
+  });
+  std::thread t2([&] {
+    if (mgr.Lock(2, a, kS).ok()) {
+      granted.fetch_add(1);
+      EXPECT_TRUE(mgr.Unlock(2, a).ok());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(mgr.stats().cycles_detected.load(), 0u);
+  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  t3.join();
+  t2.join();
+  EXPECT_EQ(granted.load(), 2);
+  ASSERT_TRUE(mgr.Unlock(2, b).ok());
+}
+
+TEST(DeadlockDetectorTest, UpgradeCycleDetected) {
+  LockManager mgr(WfgOptions());
+  LockId a = LockId::Store(1);
+  ASSERT_TRUE(mgr.Lock(1, a, kS).ok());
+  ASSERT_TRUE(mgr.Lock(2, a, kS).ok());
+
+  std::atomic<bool> t1_done{false};
+  std::thread t1([&] {
+    Status st = mgr.Lock(1, a, kX);  // Upgrade: waits on txn 2's S.
+    t1_done.store(true);
+    // Granted after txn 2 (the victim) releases.
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  Status st = mgr.Lock(2, a, kX);  // Second upgrade closes the cycle.
+  EXPECT_TRUE(st.IsDeadlock());
+  ASSERT_TRUE(mgr.Unlock(2, a).ok());
+  t1.join();
+  EXPECT_TRUE(t1_done.load());
+  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+}
+
+TEST(DeadlockDetectorTest, StressNoHangsManyTxns) {
+  LockManager mgr(WfgOptions());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 150;
+  std::atomic<int> commits{0};
+  std::atomic<int> victims{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < kRounds; ++i) {
+        TxnId txn = static_cast<TxnId>(t * 10000 + i + 1);
+        LockId first = LockId::Store(1 + rng.Uniform(3));
+        LockId second = LockId::Store(1 + rng.Uniform(3));
+        Status s1 = mgr.Lock(txn, first, kX);
+        if (!s1.ok()) {
+          victims.fetch_add(1);
+          continue;
+        }
+        Status s2 = first == second ? Status::Ok()
+                                    : mgr.Lock(txn, second, kX);
+        if (s2.ok()) {
+          commits.fetch_add(1);
+          if (first != second) (void)mgr.Unlock(txn, second);
+        } else {
+          victims.fetch_add(1);
+        }
+        (void)mgr.Unlock(txn, first);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GT(commits.load(), 0);
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+}
+
+TEST(DeadlockDetectorTest, TimeoutPolicyUnaffected) {
+  LockOptions o;
+  o.deadlock_policy = DeadlockPolicy::kTimeoutOnly;
+  o.timeout_us = 30'000;
+  LockManager mgr(o);
+  LockId a = LockId::Store(1);
+  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
+  Status st = mgr.Lock(2, a, kX);
+  EXPECT_TRUE(st.IsDeadlock());
+  EXPECT_EQ(mgr.stats().cycles_detected.load(), 0u);
+  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+}
+
+}  // namespace
+}  // namespace shoremt::lock

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lock/lock_id.h"
+#include "lock/lock_manager.h"
+#include "lock/lock_mode.h"
+#include "lock/request_pool.h"
+
+namespace shoremt::lock {
+namespace {
+
+using enum LockMode;
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  // Spot-check the canonical multigranularity matrix.
+  EXPECT_TRUE(Compatible(kIS, kIS));
+  EXPECT_TRUE(Compatible(kIS, kIX));
+  EXPECT_TRUE(Compatible(kIS, kS));
+  EXPECT_TRUE(Compatible(kIS, kSIX));
+  EXPECT_FALSE(Compatible(kIS, kX));
+  EXPECT_TRUE(Compatible(kIX, kIX));
+  EXPECT_FALSE(Compatible(kIX, kS));
+  EXPECT_FALSE(Compatible(kIX, kSIX));
+  EXPECT_TRUE(Compatible(kS, kS));
+  EXPECT_FALSE(Compatible(kS, kIX));
+  EXPECT_FALSE(Compatible(kSIX, kSIX));
+  EXPECT_TRUE(Compatible(kSIX, kIS));
+  EXPECT_FALSE(Compatible(kX, kIS));
+  EXPECT_FALSE(Compatible(kX, kX));
+}
+
+TEST(LockModeTest, SupremumLattice) {
+  EXPECT_EQ(Supremum(kS, kS), kS);
+  EXPECT_EQ(Supremum(kIS, kIX), kIX);
+  EXPECT_EQ(Supremum(kS, kIX), kSIX);
+  EXPECT_EQ(Supremum(kIX, kS), kSIX);
+  EXPECT_EQ(Supremum(kS, kX), kX);
+  EXPECT_EQ(Supremum(kSIX, kIX), kSIX);
+  EXPECT_EQ(Supremum(kIS, kX), kX);
+}
+
+TEST(LockModeTest, IntentionMapping) {
+  EXPECT_EQ(IntentionFor(kS), kIS);
+  EXPECT_EQ(IntentionFor(kX), kIX);
+  EXPECT_EQ(IntentionFor(kSIX), kIX);
+  EXPECT_EQ(IntentionFor(kIS), kIS);
+}
+
+TEST(LockIdTest, HierarchyAndEquality) {
+  LockId rec = LockId::Record(4, RecordId{10, 2});
+  EXPECT_EQ(rec.Parent(), LockId::Store(4));
+  EXPECT_EQ(LockId::Store(4).Parent(), LockId::Volume());
+  EXPECT_EQ(LockId::Volume().Parent(), LockId::Volume());
+  EXPECT_NE(LockIdHash()(rec), LockIdHash()(LockId::Store(4)));
+  EXPECT_EQ(rec, LockId::Record(4, RecordId{10, 2}));
+  EXPECT_NE(rec, LockId::Record(4, RecordId{10, 3}));
+}
+
+TEST(RequestPoolTest, AcquireReleaseBothKinds) {
+  for (auto kind :
+       {RequestPoolKind::kMutexFreelist, RequestPoolKind::kLockFreeStack}) {
+    RequestPool pool(kind, 4);
+    std::vector<uint32_t> got;
+    for (int i = 0; i < 4; ++i) {
+      auto idx = pool.Acquire();
+      ASSERT_TRUE(idx.has_value());
+      got.push_back(*idx);
+    }
+    EXPECT_FALSE(pool.Acquire().has_value()) << "pool must exhaust";
+    pool.Release(got[0]);
+    auto again = pool.Acquire();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, got[0]);
+  }
+}
+
+LockOptions FastTimeout() {
+  LockOptions o;
+  o.timeout_us = 50'000;  // Keep deadlock tests quick.
+  return o;
+}
+
+class LockManagerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  LockManagerTest() : mgr_(MakeOptions()) {}
+  LockOptions MakeOptions() {
+    LockOptions o = FastTimeout();
+    o.per_bucket_latch = GetParam();
+    return o;
+  }
+  LockManager mgr_;
+};
+
+TEST_P(LockManagerTest, GrantAndRelease) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  EXPECT_EQ(mgr_.LockedObjectCount(), 1u);
+  ASSERT_TRUE(mgr_.Unlock(1, id).ok());
+  EXPECT_EQ(mgr_.HeldMode(1, id), kNone);
+  EXPECT_EQ(mgr_.LockedObjectCount(), 0u);
+  EXPECT_TRUE(mgr_.Unlock(1, id).IsNotFound());
+}
+
+TEST_P(LockManagerTest, SharedLocksCoexist) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  ASSERT_TRUE(mgr_.Lock(2, id, kS).ok());
+  ASSERT_TRUE(mgr_.Lock(3, id, kIS).ok());
+  EXPECT_EQ(mgr_.HeldMode(2, id), kS);
+}
+
+TEST_P(LockManagerTest, ConflictTimesOutAsDeadlock) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  Status st = mgr_.Lock(2, id, kS);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_EQ(mgr_.stats().timeouts.load(), 1u);
+}
+
+TEST_P(LockManagerTest, ReacquireIsNoop) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());  // Weaker: already covered.
+  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+}
+
+TEST_P(LockManagerTest, UpgradeWhenAlone) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  EXPECT_GE(mgr_.stats().upgrades.load(), 1u);
+}
+
+TEST_P(LockManagerTest, SIXComposition) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  ASSERT_TRUE(mgr_.Lock(1, id, kIX).ok());
+  EXPECT_EQ(mgr_.HeldMode(1, id), kSIX);
+}
+
+TEST_P(LockManagerTest, WaiterGrantedAfterRelease) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(mgr_.Lock(2, id, kX).ok());
+    got.store(true);
+    ASSERT_TRUE(mgr_.Unlock(2, id).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(mgr_.Unlock(1, id).ok());
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(mgr_.stats().waits.load(), 1u);
+}
+
+TEST_P(LockManagerTest, FifoPreventsWriterStarvationByNewReaders) {
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  // Writer queues behind the reader.
+  std::thread writer([&] {
+    ASSERT_TRUE(mgr_.Lock(2, id, kX).ok());
+    ASSERT_TRUE(mgr_.Unlock(2, id).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // A new reader must queue behind the waiting writer (FIFO), not barge.
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(mgr_.Lock(3, id, kS).ok());
+    reader_done.store(true);
+    ASSERT_TRUE(mgr_.Unlock(3, id).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(reader_done.load());
+  ASSERT_TRUE(mgr_.Unlock(1, id).ok());  // Writer goes, then reader.
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST_P(LockManagerTest, UpgradeDeadlockResolvedByTimeout) {
+  // Two readers both try to upgrade: classic unresolvable conflict; the
+  // timeout must break it.
+  LockId id = LockId::Store(1);
+  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  ASSERT_TRUE(mgr_.Lock(2, id, kS).ok());
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&] {
+    Status st = mgr_.Lock(1, id, kX);
+    if (st.IsDeadlock()) deadlocks.fetch_add(1);
+  });
+  std::thread t2([&] {
+    Status st = mgr_.Lock(2, id, kX);
+    if (st.IsDeadlock()) deadlocks.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST_P(LockManagerTest, HierarchicalWorkflowIntentThenRow) {
+  // Typical row update: IX on store, X on row; a full-table reader (S on
+  // store) must conflict, a row reader of another row must not.
+  LockId store = LockId::Store(7);
+  LockId row1 = LockId::Record(7, RecordId{5, 1});
+  LockId row2 = LockId::Record(7, RecordId{5, 2});
+  ASSERT_TRUE(mgr_.Lock(1, store, kIX).ok());
+  ASSERT_TRUE(mgr_.Lock(1, row1, kX).ok());
+  // Row-level reader on a different row proceeds.
+  ASSERT_TRUE(mgr_.Lock(2, store, kIS).ok());
+  ASSERT_TRUE(mgr_.Lock(2, row2, kS).ok());
+  // Table scanner blocks (S vs IX) until writer finishes.
+  EXPECT_TRUE(mgr_.Lock(3, store, kS).IsDeadlock());  // Times out.
+}
+
+TEST_P(LockManagerTest, ConcurrentDisjointLocking) {
+  constexpr int kThreads = 4;
+  constexpr int kRows = 200;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnId txn = t + 1;
+      for (int i = 0; i < kRows; ++i) {
+        LockId row = LockId::Record(1, RecordId{static_cast<PageNum>(t + 1),
+                                                static_cast<uint16_t>(i)});
+        if (!mgr_.Lock(txn, row, kX).ok()) failures.fetch_add(1);
+      }
+      for (int i = 0; i < kRows; ++i) {
+        LockId row = LockId::Record(1, RecordId{static_cast<PageNum>(t + 1),
+                                                static_cast<uint16_t>(i)});
+        if (!mgr_.Unlock(txn, row).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mgr_.LockedObjectCount(), 0u);
+}
+
+TEST_P(LockManagerTest, ContendedRowMutualExclusion) {
+  // N threads take turns holding X on one row; a shared counter checks
+  // mutual exclusion end to end.
+  LockId row = LockId::Record(1, RecordId{1, 0});
+  int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::vector<std::thread> workers;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnId txn = t + 1;
+      for (int i = 0; i < kIters; ++i) {
+        // Retry on deadlock timeouts (heavy contention on 1 core).
+        for (;;) {
+          Status st = mgr_.Lock(txn, row, kX);
+          if (st.ok()) break;
+          if (!st.IsDeadlock()) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+        ++counter;
+        if (!mgr_.Unlock(txn, row).ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+INSTANTIATE_TEST_SUITE_P(LatchStrategies, LockManagerTest,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "PerBucket" : "GlobalMutex";
+                         });
+
+TEST(LockManagerPoolTest, ExhaustedPoolReportsBusy) {
+  LockOptions o = FastTimeout();
+  o.pool_capacity = 2;
+  LockManager mgr(o);
+  ASSERT_TRUE(mgr.Lock(1, LockId::Store(1), kS).ok());
+  ASSERT_TRUE(mgr.Lock(1, LockId::Store(2), kS).ok());
+  EXPECT_TRUE(mgr.Lock(1, LockId::Store(3), kS).IsBusy());
+}
+
+TEST(LockManagerPoolTest, BothPoolKindsFunctionUnderLoad) {
+  for (auto kind :
+       {RequestPoolKind::kMutexFreelist, RequestPoolKind::kLockFreeStack}) {
+    LockOptions o = FastTimeout();
+    o.pool_kind = kind;
+    LockManager mgr(o);
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        TxnId txn = t + 1;
+        for (int i = 0; i < 300; ++i) {
+          LockId id = LockId::Record(
+              1, RecordId{static_cast<PageNum>(i % 7 + 1),
+                          static_cast<uint16_t>(t)});
+          if (!mgr.Lock(txn, id, kS).ok() ||
+              !mgr.Unlock(txn, id).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace shoremt::lock
