@@ -13,6 +13,7 @@
 #include "io/volume.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/insert_workload.h"
 
@@ -41,23 +42,24 @@ void RunVariant(buffer::TableKind kind, bool pin_if_pinned) {
   auto& db = *opened;
 
   // Hot-page fix latency: repeatedly fix one cached page.
-  auto* txn = db->Begin();
-  auto table = db->CreateTable(txn, "hot");
+  auto session = db->OpenSession();
+  (void)session->Begin();
+  auto table = session->CreateTable("hot");
   std::vector<uint8_t> row(64, 1);
-  (void)db->Insert(txn, *table, 1, row);
-  (void)db->Commit(txn);
+  (void)session->Insert(*table, 1, row);
+  (void)session->Commit();
   const int kFixes = bench::FullMode() ? 2'000'000 : 300'000;
   // Keep the page pinned so the optimistic path is eligible.
   auto keeper = db->pool()->FixPage(
-      db->OpenTable("hot")->index_root, sync::LatchMode::kShared);
+      session->OpenTable("hot")->index_root, sync::LatchMode::kShared);
   uint64_t t0 = NowNanos();
-  auto* rtxn = db->Begin();
+  (void)session->Begin();
   for (int i = 0; i < kFixes / 100; ++i) {
     for (int j = 0; j < 100; ++j) {
-      (void)db->Read(rtxn, *table, 1);
+      (void)session->Read(*table, 1);
     }
   }
-  (void)db->Commit(rtxn);
+  (void)session->Commit();
   uint64_t per_read = (NowNanos() - t0) / kFixes;
 
   // Short concurrent insert run.
@@ -68,7 +70,7 @@ void RunVariant(buffer::TableKind kind, bool pin_if_pinned) {
   cfg.duration_ms = bench::FullMode() ? 2000 : 600;
   auto state = SetupInsertBench(db.get(), cfg);
   if (!state.ok()) return;
-  auto r = RunInsertBench(db.get(), cfg, &*state);
+  auto r = RunInsertBench(cfg, &*state);
 
   const auto& bp = db->pool()->stats();
   std::printf("%-16s pin_if_pinned=%d  hot-read=%6lluns  "

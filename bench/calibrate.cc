@@ -42,7 +42,7 @@ void Profile(sm::Stage stage) {
   auto state = SetupInsertBench(db.get(), cfg);
   if (!state.ok()) return;
   sync::SyncStatsRegistry::Instance().ResetAll();
-  auto r = RunInsertBench(db.get(), cfg, &*state);
+  auto r = RunInsertBench(cfg, &*state);
 
   double inserts_per_sec = r.tps * cfg.records_per_commit;
   std::printf("single-thread: %.0f inserts/s  (%.0f ns per insert)\n",

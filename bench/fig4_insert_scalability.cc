@@ -10,14 +10,58 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "io/volume.h"
+#include "log/log_storage.h"
+#include "sm/session.h"
+#include "sm/storage_manager.h"
 #include "workload/engine_profiles.h"
+#include "workload/insert_workload.h"
 
 using namespace shoremt;
 using namespace shoremt::workload;
 
+namespace {
+
+/// Companion panel: the same microbenchmark against the real engine on
+/// this machine, driven entirely through sm::Session (one per client,
+/// batched Apply per commit). Harvested session statistics replace global
+/// counters — the per-op path is counter-free.
+void RunRealEnginePanel() {
+  std::printf("--- real engine (this machine), session API ---\n");
+  std::vector<int> clients = bench::FullMode() ? std::vector<int>{1, 2, 4, 8}
+                                               : std::vector<int>{1, 2, 4};
+  std::printf("%-8s  %14s  %14s  %12s\n", "clients", "inserts/s",
+              "tps/client", "wal MB");
+  for (int c : clients) {
+    io::MemVolume volume;
+    log::LogStorage wal;
+    auto opened = sm::StorageManager::Open(
+        sm::StorageOptions::ForStage(sm::Stage::kFinal), &volume, &wal);
+    if (!opened.ok()) return;
+    auto& db = *opened;
+    InsertBenchConfig cfg;
+    cfg.clients = c;
+    cfg.records_per_commit = 100;
+    cfg.warmup_ms = bench::FullMode() ? 200 : 50;
+    cfg.duration_ms = bench::FullMode() ? 1000 : 300;
+    auto state = SetupInsertBench(db.get(), cfg);
+    if (!state.ok()) return;
+    auto r = RunInsertBench(cfg, &*state);
+    for (auto& s : state->sessions) s->Harvest();
+    sm::SessionStats stats = db->harvested_session_stats();
+    std::printf("%-8d  %14.0f  %14.2f  %12.2f\n", c,
+                r.tps * cfg.records_per_commit, r.tps_per_thread,
+                stats.log_bytes / 1e6);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main() {
   std::printf("=== Figure 4: insert microbenchmark, tps/thread "
               "(simulated T2000) ===\n\n");
+  RunRealEnginePanel();
   Calibration calib;
   std::vector<int> threads = bench::ThreadSweep();
   struct Entry {

@@ -7,14 +7,70 @@
 /// lower throughout.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "io/volume.h"
+#include "log/log_storage.h"
+#include "sm/session.h"
+#include "sm/storage_manager.h"
+#include "workload/driver.h"
 #include "workload/engine_profiles.h"
+#include "workload/tpcc.h"
 
 using namespace shoremt;
 using namespace shoremt::workload;
 
 namespace {
+
+/// Companion panel: real-engine TPC-C on this machine through the session
+/// API — one session per terminal, Payment and New Order straight from
+/// workload/tpcc.h, per-session stats harvested at the end.
+void RunRealEnginePanel() {
+  std::printf("--- real engine (this machine), session API ---\n");
+  std::vector<int> terminals = bench::FullMode()
+                                   ? std::vector<int>{1, 2, 4, 8}
+                                   : std::vector<int>{1, 2, 4};
+  std::printf("%-9s  %12s  %12s  %10s  %12s\n", "terminals", "payment/s",
+              "neworder/s", "aborts", "lock waits");
+  for (int t : terminals) {
+    io::MemVolume volume;
+    log::LogStorage wal;
+    auto opened = sm::StorageManager::Open(
+        sm::StorageOptions::ForStage(sm::Stage::kFinal), &volume, &wal);
+    if (!opened.ok()) return;
+    auto& db = *opened;
+    TpccConfig cfg;
+    cfg.warehouses = static_cast<uint32_t>(t);  // TPC-C scaling rule.
+    cfg.districts_per_warehouse = 4;
+    cfg.customers_per_district = 60;
+    cfg.items = 200;
+    auto loader = db->OpenSession();
+    auto loaded = LoadTpcc(loader.get(), cfg);
+    if (!loaded.ok()) return;
+    TpccDatabase tpcc = *loaded;
+
+    std::vector<std::unique_ptr<sm::Session>> sessions;
+    for (int i = 0; i < t; ++i) sessions.push_back(db->OpenSession());
+    uint64_t window_ms = bench::FullMode() ? 800 : 250;
+    auto pay = RunDriver(t, 50, window_ms, [&](int worker, Rng&) {
+      return RunPayment(sessions[worker].get(), &tpcc,
+                        1 + worker % cfg.warehouses);
+    });
+    auto norder = RunDriver(t, 50, window_ms, [&](int worker, Rng&) {
+      return RunNewOrder(sessions[worker].get(), &tpcc,
+                         1 + worker % cfg.warehouses);
+    });
+    for (auto& s : sessions) s->Harvest();
+    sm::SessionStats stats = db->harvested_session_stats();
+    std::printf("%-9d  %12.0f  %12.0f  %10llu  %12llu\n", t, pay.tps,
+                norder.tps,
+                (unsigned long long)(pay.aborts + norder.aborts),
+                (unsigned long long)stats.lock_waits);
+  }
+  std::printf("\n");
+}
 
 void RunPanel(bool new_order, const Calibration& calib) {
   std::printf("--- %s ---\n", new_order ? "New Order" : "Payment");
@@ -43,6 +99,7 @@ void RunPanel(bool new_order, const Calibration& calib) {
 int main() {
   std::printf("=== Figure 5: TPC-C per-client throughput "
               "(simulated T2000) ===\n\n");
+  RunRealEnginePanel();
   Calibration calib;
   RunPanel(/*new_order=*/true, calib);
   RunPanel(/*new_order=*/false, calib);

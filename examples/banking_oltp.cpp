@@ -1,10 +1,11 @@
 /// Banking OLTP example: concurrent money transfers with strict 2PL.
 ///
-/// A classic short-transaction workload on the public API: N teller
-/// threads move money between accounts; deadlock victims retry. At the end
-/// the total balance must be exactly what we started with — demonstrating
-/// isolation + atomicity under real concurrency, plus a crash-recovery
-/// epilogue showing durability.
+/// A classic short-transaction workload on the session API: N teller
+/// threads — one sm::Session each — move money between accounts; deadlock
+/// victims retry. At the end the total balance must be exactly what we
+/// started with — demonstrating isolation + atomicity under real
+/// concurrency, plus a crash-recovery epilogue showing durability. The
+/// harvested session statistics show where the contention went.
 
 #include <atomic>
 #include <cstdio>
@@ -12,10 +13,10 @@
 #include <thread>
 #include <vector>
 
-#include "common/random.h"
 #include "io/volume.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 
 using namespace shoremt;
@@ -31,10 +32,22 @@ std::span<const uint8_t> BalanceBytes(const int64_t& v) {
   return {reinterpret_cast<const uint8_t*>(&v), sizeof(v)};
 }
 
-int64_t ToBalance(const std::vector<uint8_t>& bytes) {
+int64_t ToBalance(std::span<const uint8_t> bytes) {
   int64_t v;
   std::memcpy(&v, bytes.data(), sizeof(v));
   return v;
+}
+
+/// Sums every account with a cursor under one transaction.
+int64_t AuditTotal(sm::Session* session, const sm::TableInfo& accounts) {
+  int64_t total = 0;
+  (void)session->Begin();
+  auto cur = session->OpenCursor(accounts);
+  for (auto st = cur.Seek(0); cur.Valid(); st = cur.Next()) {
+    total += ToBalance(cur.value());
+  }
+  (void)session->Commit();
+  return total;
 }
 
 }  // namespace
@@ -43,6 +56,7 @@ int main() {
   io::MemVolume volume;
   log::LogStorage wal;
   sm::TableInfo accounts;
+  constexpr int64_t kExpected = int64_t{kAccounts} * kInitialBalance;
 
   {
     auto opened = sm::StorageManager::Open(
@@ -50,17 +64,17 @@ int main() {
     if (!opened.ok()) return 1;
     auto& db = *opened;
 
-    auto* setup = db->Begin();
-    auto table = db->CreateTable(setup, "accounts");
+    auto setup = db->OpenSession();
+    if (!setup->Begin().ok()) return 1;
+    auto table = setup->CreateTable("accounts");
     if (!table.ok()) return 1;
     accounts = *table;
     for (uint64_t acct = 1; acct <= kAccounts; ++acct) {
-      if (!db->Insert(setup, accounts, acct, BalanceBytes(kInitialBalance))
-               .ok()) {
+      if (!setup->Insert(accounts, acct, BalanceBytes(kInitialBalance)).ok()) {
         return 1;
       }
     }
-    if (!db->Commit(setup).ok()) return 1;
+    if (!setup->Commit().ok()) return 1;
     std::printf("opened %d accounts with %lld each\n", kAccounts,
                 static_cast<long long>(kInitialBalance));
 
@@ -68,54 +82,52 @@ int main() {
     std::atomic<int> retries{0};
     std::vector<std::thread> tellers;
     for (int t = 0; t < kTellers; ++t) {
-      tellers.emplace_back([&, t] {
-        Rng rng(7700 + t);
+      tellers.emplace_back([&] {
+        // One session per teller thread; its RNG drives the workload.
+        auto session = db->OpenSession();
         for (int i = 0; i < kTransfersPerTeller; ++i) {
-          uint64_t from = 1 + rng.Uniform(kAccounts);
-          uint64_t to = 1 + rng.Uniform(kAccounts);
+          uint64_t from = 1 + session->rng().Uniform(kAccounts);
+          uint64_t to = 1 + session->rng().Uniform(kAccounts);
           if (from == to) continue;
-          int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(50));
+          int64_t amount =
+              1 + static_cast<int64_t>(session->rng().Uniform(50));
           for (;;) {  // Retry deadlock victims.
-            auto* txn = db->Begin();
-            auto src = db->Read(txn, accounts, from);
-            auto dst = db->Read(txn, accounts, to);
-            bool ok = src.ok() && dst.ok();
-            if (ok) {
-              int64_t s = ToBalance(*src) - amount;
-              int64_t d = ToBalance(*dst) + amount;
-              ok = db->Update(txn, accounts, from, BalanceBytes(s)).ok() &&
-                   db->Update(txn, accounts, to, BalanceBytes(d)).ok();
-            }
-            if (ok && db->Commit(txn).ok()) {
+            (void)session->Begin();
+            auto src = session->Read(accounts, from);
+            int64_t s = src.ok() ? ToBalance(*src) - amount : 0;
+            auto dst = session->Read(accounts, to);
+            int64_t d = dst.ok() ? ToBalance(*dst) + amount : 0;
+            bool ok = src.ok() && dst.ok() &&
+                      session->Update(accounts, from, BalanceBytes(s)).ok() &&
+                      session->Update(accounts, to, BalanceBytes(d)).ok();
+            if (ok && session->Commit().ok()) {
               commits.fetch_add(1);
               break;
             }
-            (void)db->Abort(txn);
+            (void)session->Abort();
             retries.fetch_add(1);
           }
         }
+        // Session destructor harvests, but being explicit reads better.
+        session->Harvest();
       });
     }
     for (auto& t : tellers) t.join();
     std::printf("transfers committed: %d (deadlock retries: %d)\n",
                 commits.load(), retries.load());
+    sm::SessionStats stats = db->harvested_session_stats();
+    std::printf("teller sessions: %llu ops, %llu lock waits, %llu WAL bytes\n",
+                static_cast<unsigned long long>(stats.ops()),
+                static_cast<unsigned long long>(stats.lock_waits),
+                static_cast<unsigned long long>(stats.log_bytes));
 
     // Audit: money is conserved.
-    auto* audit = db->Begin();
-    int64_t total = 0;
-    (void)db->Scan(audit, accounts, 0, UINT64_MAX,
-                   [&](uint64_t, std::span<const uint8_t> bytes) {
-                     int64_t v;
-                     std::memcpy(&v, bytes.data(), sizeof(v));
-                     total += v;
-                     return true;
-                   });
-    (void)db->Commit(audit);
+    auto auditor = db->OpenSession();
+    int64_t total = AuditTotal(auditor.get(), accounts);
     std::printf("audit total: %lld (expected %lld) -> %s\n",
                 static_cast<long long>(total),
-                static_cast<long long>(int64_t{kAccounts} * kInitialBalance),
-                total == int64_t{kAccounts} * kInitialBalance ? "OK"
-                                                              : "BROKEN");
+                static_cast<long long>(kExpected),
+                total == kExpected ? "OK" : "BROKEN");
 
     // Simulate a power failure: nothing flushed beyond the WAL.
     db->SimulateCrash();
@@ -126,20 +138,12 @@ int main() {
       sm::StorageOptions::ForStage(sm::Stage::kFinal), &volume, &wal);
   if (!reopened.ok()) return 1;
   auto& db = *reopened;
-  auto table = db->OpenTable("accounts");
-  auto* audit = db->Begin();
-  int64_t total = 0;
-  (void)db->Scan(audit, *table, 0, UINT64_MAX,
-                 [&](uint64_t, std::span<const uint8_t> bytes) {
-                   int64_t v;
-                   std::memcpy(&v, bytes.data(), sizeof(v));
-                   total += v;
-                   return true;
-                 });
-  (void)db->Commit(audit);
+  auto session = db->OpenSession();
+  auto table = session->OpenTable("accounts");
+  if (!table.ok()) return 1;
+  int64_t total = AuditTotal(session.get(), *table);
   std::printf("after crash+recovery, audit total: %lld -> %s\n",
               static_cast<long long>(total),
-              total == int64_t{kAccounts} * kInitialBalance ? "OK"
-                                                            : "BROKEN");
-  return total == int64_t{kAccounts} * kInitialBalance ? 0 : 1;
+              total == kExpected ? "OK" : "BROKEN");
+  return total == kExpected ? 0 : 1;
 }

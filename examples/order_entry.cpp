@@ -1,8 +1,9 @@
 /// Order-entry example: the TPC-C-style workload the paper benchmarks.
 ///
 /// Loads a small TPC-C database and runs a mixed Payment / New Order
-/// workload from several terminals, then prints per-district order
-/// statistics — the "realistic workload" counterpart to quickstart.cpp.
+/// workload from several terminals — one sm::Session per terminal thread —
+/// then prints per-district order statistics via cursors — the "realistic
+/// workload" counterpart to quickstart.cpp.
 
 #include <atomic>
 #include <cstdio>
@@ -10,10 +11,10 @@
 #include <thread>
 #include <vector>
 
-#include "common/random.h"
 #include "io/volume.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/tpcc.h"
 
@@ -33,7 +34,8 @@ int main() {
   cfg.districts_per_warehouse = 4;
   cfg.customers_per_district = 60;
   cfg.items = 200;
-  auto loaded = LoadTpcc(db.get(), cfg);
+  auto loader = db->OpenSession();
+  auto loaded = LoadTpcc(loader.get(), cfg);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  loaded.status().ToString().c_str());
@@ -52,17 +54,17 @@ int main() {
   std::vector<std::thread> terminals;
   for (int t = 0; t < kTerminals; ++t) {
     terminals.emplace_back([&, t] {
-      Rng rng(42 + t);
+      auto session = db->OpenSession();
       uint32_t home_w = 1 + t % cfg.warehouses;
       for (int i = 0; i < kTxnsPerTerminal; ++i) {
-        if (rng.Bernoulli(0.5)) {
-          if (RunPayment(db.get(), &tpcc, home_w, rng)) {
+        if (session->rng().Bernoulli(0.5)) {
+          if (RunPayment(session.get(), &tpcc, home_w)) {
             payments.fetch_add(1);
           } else {
             aborts.fetch_add(1);
           }
         } else {
-          if (RunNewOrder(db.get(), &tpcc, home_w, rng)) {
+          if (RunNewOrder(session.get(), &tpcc, home_w)) {
             new_orders.fetch_add(1);
           } else {
             aborts.fetch_add(1);
@@ -74,29 +76,35 @@ int main() {
   for (auto& t : terminals) t.join();
   std::printf("committed: %d payments, %d new orders (%d deadlock aborts)\n",
               payments.load(), new_orders.load(), aborts.load());
+  sm::SessionStats stats = db->harvested_session_stats();
+  std::printf("terminals: %llu row ops, %llu lock waits, %llu log bytes\n",
+              static_cast<unsigned long long>(stats.ops()),
+              static_cast<unsigned long long>(stats.lock_waits),
+              static_cast<unsigned long long>(stats.log_bytes));
 
   // Report: orders per district and total warehouse revenue.
-  auto* report = db->Begin();
+  auto report = db->OpenSession();
+  if (!report->Begin().ok()) return 1;
   for (uint32_t w = 1; w <= cfg.warehouses; ++w) {
-    auto row = db->Read(report, tpcc.warehouse, WarehouseKey(w));
-    WarehouseRow wr;
-    std::memcpy(&wr, row->data(), sizeof(wr));
-    std::printf("warehouse %u: payment ytd = %.2f\n", w, wr.ytd);
+    auto wr = ReadTpccRow<WarehouseRow>(report.get(), tpcc.warehouse,
+                                        WarehouseKey(w));
+    if (!wr.ok()) return 1;
+    std::printf("warehouse %u: payment ytd = %.2f\n", w, wr->ytd);
     for (uint32_t d = 1; d <= cfg.districts_per_warehouse; ++d) {
-      auto drow = db->Read(report, tpcc.district, DistrictKey(w, d));
-      DistrictRow dr;
-      std::memcpy(&dr, drow->data(), sizeof(dr));
+      auto dr = ReadTpccRow<DistrictRow>(report.get(), tpcc.district,
+                                         DistrictKey(w, d));
+      if (!dr.ok()) return 1;
       uint64_t lines = 0;
-      (void)db->Scan(report, tpcc.order_line, OrderLineKey(w, d, 0, 0),
-                     OrderLineKey(w, d, 9999999, 15),
-                     [&](uint64_t, std::span<const uint8_t>) {
-                       ++lines;
-                       return true;
-                     });
+      auto cur = report->OpenCursor(tpcc.order_line);
+      for (auto st = cur.Seek(OrderLineKey(w, d, 0, 0));
+           cur.Valid() && cur.key() <= OrderLineKey(w, d, 9999999, 15);
+           st = cur.Next()) {
+        ++lines;
+      }
       std::printf("  district %u: %u orders, %llu order lines\n", d,
-                  dr.next_o_id - 1, static_cast<unsigned long long>(lines));
+                  dr->next_o_id - 1, static_cast<unsigned long long>(lines));
     }
   }
-  (void)db->Commit(report);
+  (void)report->Commit();
   return 0;
 }

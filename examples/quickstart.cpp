@@ -1,7 +1,8 @@
-/// Quickstart: open a storage manager, create a table, run transactions.
+/// Quickstart: open a storage manager, open a session, run transactions.
 ///
-/// Demonstrates the core public API: StorageManager::Open, Begin/Commit/
-/// Abort, Insert/Read/Update/Delete/Scan, and what rollback means.
+/// Demonstrates the core public API: StorageManager::Open, OpenSession,
+/// Begin/Commit/Abort, Insert/Read/Update/Delete, cursor scans, batched
+/// Apply, per-session statistics, and what rollback means.
 
 #include <cstdio>
 #include <string>
@@ -9,6 +10,7 @@
 #include "io/volume.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 
 using namespace shoremt;
@@ -39,51 +41,71 @@ int main() {
   }
   auto& db = *opened;
 
+  // Every worker thread opens one session; it owns the thread's RNG, read
+  // buffer and statistics.
+  auto session = db->OpenSession();
+
   // DDL + a few inserts in one transaction.
-  auto* txn = db->Begin();
-  auto table = db->CreateTable(txn, "greetings");
+  if (!session->Begin().ok()) return 1;
+  auto table = session->CreateTable("greetings");
   if (!table.ok()) return 1;
   for (uint64_t key = 1; key <= 5; ++key) {
-    auto rid =
-        db->Insert(txn, *table, key, Row("hello #" + std::to_string(key)));
+    auto rid = session->Insert(*table, key, Row("hello #" + std::to_string(key)));
     if (!rid.ok()) return 1;
   }
-  if (!db->Commit(txn).ok()) return 1;
+  if (!session->Commit().ok()) return 1;
   std::printf("committed 5 rows into 'greetings'\n");
 
-  // Point read.
-  auto* reader = db->Begin();
-  auto row = db->Read(reader, *table, 3);
-  std::printf("key 3 -> \"%s\"\n",
-              std::string(row->begin(), row->end()).c_str());
-  (void)db->Commit(reader);
+  // Point read (the span points into the session's reusable buffer).
+  if (!session->Begin().ok()) return 1;
+  auto row = session->Read(*table, 3);
+  std::printf("key 3 -> \"%.*s\"\n", static_cast<int>(row->size()),
+              reinterpret_cast<const char*>(row->data()));
+  (void)session->Commit();
 
   // Rollback: the update below never happened.
-  auto* loser = db->Begin();
-  (void)db->Update(loser, *table, 3, Row("tampered"));
-  (void)db->Abort(loser);
-  auto* check = db->Begin();
-  auto after = db->Read(check, *table, 3);
-  std::printf("after abort, key 3 -> \"%s\"\n",
-              std::string(after->begin(), after->end()).c_str());
-  (void)db->Commit(check);
+  (void)session->Begin();
+  (void)session->Update(*table, 3, Row("tampered"));
+  (void)session->Abort();
+  (void)session->Begin();
+  auto after = session->Read(*table, 3);
+  std::printf("after abort, key 3 -> \"%.*s\"\n",
+              static_cast<int>(after->size()),
+              reinterpret_cast<const char*>(after->data()));
+  (void)session->Commit();
 
-  // Ordered scan.
-  auto* scanner = db->Begin();
-  std::printf("scan [2,4]: ");
-  (void)db->Scan(scanner, *table, 2, 4,
-                 [](uint64_t key, std::span<const uint8_t> bytes) {
-                   std::printf("%llu=\"%.*s\" ",
-                               static_cast<unsigned long long>(key),
-                               static_cast<int>(bytes.size()),
-                               reinterpret_cast<const char*>(bytes.data()));
-                   return true;
-                 });
+  // Ordered range scan with a pull-style cursor.
+  (void)session->Begin();
+  auto cur = session->OpenCursor(*table);
+  std::printf("cursor [2,4]: ");
+  for (auto st = cur.Seek(2); cur.Valid() && cur.key() <= 4; st = cur.Next()) {
+    std::printf("%llu=\"%.*s\" ", static_cast<unsigned long long>(cur.key()),
+                static_cast<int>(cur.value().size()),
+                reinterpret_cast<const char*>(cur.value().data()));
+  }
   std::printf("\n");
-  (void)db->Commit(scanner);
+  (void)session->Commit();
 
-  // Checkpoint + clean shutdown.
+  // Batched writes: one atomic Apply, one commit, one log flush.
+  std::vector<uint8_t> six = Row("hello #6"), seven = Row("hello #7");
+  sm::Op batch[] = {
+      {sm::OpType::kInsert, 6, six},
+      {sm::OpType::kInsert, 7, seven},
+      {sm::OpType::kDelete, 1, {}},
+  };
+  if (!session->Apply(*table, batch).ok()) return 1;
+  std::printf("applied a 3-op batch (insert 6, insert 7, delete 1)\n");
+
+  // Checkpoint + statistics + clean shutdown.
   (void)db->Checkpoint();
+  session->Harvest();
+  sm::SessionStats stats = db->harvested_session_stats();
+  std::printf("session did %llu ops (%llu inserts) over %llu commits, "
+              "%llu WAL bytes\n",
+              static_cast<unsigned long long>(stats.ops()),
+              static_cast<unsigned long long>(stats.inserts),
+              static_cast<unsigned long long>(stats.commits),
+              static_cast<unsigned long long>(stats.log_bytes));
   std::printf("done; log wrote %llu bytes\n",
               static_cast<unsigned long long>(wal.size()));
   return 0;

@@ -11,6 +11,7 @@
 #include "log/log_manager.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 
 using namespace shoremt;
@@ -55,15 +56,19 @@ int main() {
     if (!opened.ok()) return 1;
     auto& db = *opened;
 
-    auto* winner = db->Begin();
-    auto table = db->CreateTable(winner, "ledger");
-    (void)db->Insert(winner, *table, 1, Row("committed-before-crash"));
-    (void)db->Commit(winner);
+    auto winner = db->OpenSession();
+    (void)winner->Begin();
+    auto table = winner->CreateTable("ledger");
+    (void)winner->Insert(*table, 1, Row("committed-before-crash"));
+    (void)winner->Commit();
 
-    auto* loser = db->Begin();
-    (void)db->Insert(loser, *table, 2, Row("never-committed"));
-    (void)db->Update(loser, *table, 1, Row("tampered"));
-    // ... power fails mid-transaction:
+    auto loser = db->OpenSession();
+    (void)loser->Begin();
+    (void)loser->Insert(*table, 2, Row("never-committed"));
+    (void)loser->Update(*table, 1, Row("tampered"));
+    // ... power fails mid-transaction: drop the handle without Abort so
+    // the in-flight updates die with the crash, not via rollback.
+    loser.release();  // NOLINT: deliberate leak, the "power cord" pull.
     db->SimulateCrash();
     std::printf("crashed with 1 committed txn and 1 in-flight txn\n\n");
   }
@@ -95,21 +100,22 @@ int main() {
     return 1;
   }
   auto& db = *reopened;
-  auto table = db->OpenTable("ledger");
-  auto* check = db->Begin();
-  auto key1 = db->Read(check, *table, 1);
-  auto key2 = db->Read(check, *table, 2);
+  auto check = db->OpenSession();
+  auto table = check->OpenTable("ledger");
+  (void)check->Begin();
+  auto key1 = check->Read(*table, 1);
+  std::string key1_str =
+      key1.ok() ? std::string(key1->begin(), key1->end()) : std::string();
+  auto key2 = check->Read(*table, 2);
   std::printf("after recovery:\n");
   std::printf("  key 1 -> \"%s\" (expected the committed image)\n",
-              key1.ok() ? std::string(key1->begin(), key1->end()).c_str()
+              key1.ok() ? key1_str.c_str()
                         : key1.status().ToString().c_str());
   std::printf("  key 2 -> %s (expected NotFound: loser rolled back)\n",
               key2.ok() ? "present (!)" : key2.status().ToString().c_str());
-  (void)db->Commit(check);
+  (void)check->Commit();
 
-  bool ok = key1.ok() &&
-            std::string(key1->begin(), key1->end()) ==
-                "committed-before-crash" &&
+  bool ok = key1.ok() && key1_str == "committed-before-crash" &&
             key2.status().IsNotFound();
   std::printf("\nrecovery verdict: %s\n", ok ? "OK" : "BROKEN");
   return ok ? 0 : 1;

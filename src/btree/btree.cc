@@ -329,33 +329,78 @@ Status BTree::Remove(txn::Transaction* txn, uint64_t key) {
   }
 }
 
-Status BTree::Scan(uint64_t lo, uint64_t hi,
-                   const std::function<bool(uint64_t, RecordId)>& fn) {
-  SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
-                           pool_->FixPage(root_, LatchMode::kShared));
-  // Descend to the leaf covering `lo`.
+Status BTree::Iterator::Seek(uint64_t key) {
+  valid_ = false;
+  buf_.clear();
+  pos_ = 0;
+  SHOREMT_ASSIGN_OR_RETURN(
+      PageHandle h, tree_->pool_->FixPage(tree_->root_, LatchMode::kShared));
+  // Descend to the leaf covering `key`, crabbing shared latches.
   for (;;) {
     BTreeNode node(h.data());
     if (node.IsLeaf()) break;
     SHOREMT_ASSIGN_OR_RETURN(
         PageHandle child_h,
-        pool_->FixPage(node.ChildFor(lo), LatchMode::kShared));
+        tree_->pool_->FixPage(node.ChildFor(key), LatchMode::kShared));
     h = std::move(child_h);
   }
-  // Walk the leaf chain.
-  for (;;) {
-    BTreeNode leaf(h.data());
-    for (uint16_t i = leaf.LowerBound(lo); i < leaf.count(); ++i) {
-      const BTreeEntry& e = leaf.entry(i);
-      if (e.key > hi) return Status::Ok();
-      if (!fn(e.key, UnpackRecordId(e.value))) return Status::Ok();
-    }
-    PageNum next = page::HeaderOf(h.data())->next_page;
-    if (next == kInvalidPageNum) return Status::Ok();
-    SHOREMT_ASSIGN_OR_RETURN(PageHandle next_h,
-                             pool_->FixPage(next, LatchMode::kShared));
-    h = std::move(next_h);
+  // Buffer this leaf's qualifying tail, then drop the latch. Entries whose
+  // leaf fills up later simply migrate right in the chain — Refill's
+  // resume filter keeps the iteration exactly-once.
+  BTreeNode leaf(h.data());
+  for (uint16_t i = leaf.LowerBound(key); i < leaf.count(); ++i) {
+    buf_.push_back(leaf.entry(i));
   }
+  next_leaf_ = page::HeaderOf(h.data())->next_page;
+  h.Unfix();  // Release the latch before the chain walk below.
+  if (!buf_.empty()) {
+    valid_ = true;
+    return Status::Ok();
+  }
+  return Refill(key, /*exclusive=*/false);
+}
+
+Status BTree::Iterator::Refill(uint64_t min_key, bool exclusive) {
+  // Invalidate up front: an error return (e.g. a failed page fix) must
+  // not leave a Valid() iterator pointing at an empty buffer.
+  valid_ = false;
+  buf_.clear();
+  pos_ = 0;
+  while (next_leaf_ != kInvalidPageNum) {
+    SHOREMT_ASSIGN_OR_RETURN(
+        PageHandle h, tree_->pool_->FixPage(next_leaf_, LatchMode::kShared));
+    BTreeNode leaf(h.data());
+    for (uint16_t i = 0; i < leaf.count(); ++i) {
+      const BTreeEntry& e = leaf.entry(i);
+      if (exclusive ? e.key > min_key : e.key >= min_key) {
+        buf_.push_back(e);
+      }
+    }
+    next_leaf_ = page::HeaderOf(h.data())->next_page;
+    if (!buf_.empty()) {
+      valid_ = true;
+      return Status::Ok();
+    }
+  }
+  valid_ = false;
+  return Status::Ok();
+}
+
+Status BTree::Iterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next on invalid iterator");
+  if (++pos_ < buf_.size()) return Status::Ok();
+  return Refill(buf_.back().key, /*exclusive=*/true);
+}
+
+Status BTree::Scan(uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, RecordId)>& fn) {
+  Iterator it(this);
+  SHOREMT_RETURN_NOT_OK(it.Seek(lo));
+  while (it.Valid() && it.key() <= hi) {
+    if (!fn(it.key(), it.record())) return Status::Ok();
+    SHOREMT_RETURN_NOT_OK(it.Next());
+  }
+  return Status::Ok();
 }
 
 Result<uint64_t> BTree::CountEntries() {

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "btree/btree_node.h"
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -56,6 +58,48 @@ class BTree {
                                     log::LogManager* log,
                                     txn::TxnManager* txns,
                                     txn::Transaction* txn, StoreId store);
+
+  /// Pull-style scanner over the leaf chain. Latches are held only inside
+  /// Seek/Next: each refill copies one leaf's qualifying entries under a
+  /// shared latch, then releases it, so callers may acquire row locks (or
+  /// block) between entries without latch-lock deadlock risk. Because
+  /// nodes are never deallocated or merged, the stored next-leaf pointer
+  /// stays valid across concurrent splits; entries that a split moved
+  /// rightward past the current position are filtered by resume key, so an
+  /// iterator observes each key at most once and never misses a key that
+  /// existed for the whole scan.
+  ///
+  ///   BTree::Iterator it(index);
+  ///   for (auto st = it.Seek(lo); it.Valid() && it.key() <= hi;
+  ///        st = it.Next()) { use(it.key(), it.record()); }
+  class Iterator {
+   public:
+    explicit Iterator(BTree* tree) : tree_(tree) {}
+
+    /// Positions at the first entry with key >= `key`. Invalidates on
+    /// error or when no such entry exists.
+    Status Seek(uint64_t key);
+    /// Advances to the next entry; invalidates at the end of the tree.
+    Status Next();
+    bool Valid() const { return valid_; }
+
+    /// Entry accessors; only meaningful while Valid().
+    uint64_t key() const { return buf_[pos_].key; }
+    uint64_t value() const { return buf_[pos_].value; }
+    RecordId record() const { return UnpackRecordId(buf_[pos_].value); }
+
+   private:
+    /// Walks the leaf chain from `next_leaf_` until a leaf yields entries
+    /// with key >= `min_key` (`exclusive`: key > `min_key` — the resume
+    /// filter used after the first leaf), buffering them.
+    Status Refill(uint64_t min_key, bool exclusive);
+
+    BTree* tree_;
+    std::vector<BTreeEntry> buf_;  ///< Snapshot of one leaf's tail.
+    size_t pos_ = 0;
+    PageNum next_leaf_ = kInvalidPageNum;
+    bool valid_ = false;
+  };
 
   /// Inserts key→rid; AlreadyExists on duplicate key.
   Status Insert(txn::Transaction* txn, uint64_t key, RecordId rid);

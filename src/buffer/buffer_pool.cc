@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "page/page.h"
 
@@ -159,6 +160,13 @@ Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
       free_frames_.Push(static_cast<uint32_t>(frame));
       return st;
     }
+  } else {
+    // New page: hand out a deterministic all-zero image. The frame (or
+    // the arena itself, after a manager restart in the same process) may
+    // hold a stale page whose header still validates — recovery's
+    // page-LSN idempotence checks must never be fooled by such garbage
+    // into keeping uncommitted bytes.
+    std::memset(FrameData(frame), 0, kPageSize);
   }
   // Publish: pin first so the frame is never observable evictable.
   f.pins.store(1, std::memory_order_relaxed);

@@ -93,7 +93,8 @@ void LockManager::RemoveWaitEdges(TxnId waiter) {
   waits_for_.erase(waiter);
 }
 
-Status LockManager::Lock(TxnId txn, const LockId& id, LockMode mode) {
+Status LockManager::Lock(TxnId txn, const LockId& id, LockMode mode,
+                         uint64_t* waits_out) {
   if (txn == kInvalidTxnId || mode == LockMode::kNone) {
     return Status::InvalidArgument("bad lock request");
   }
@@ -125,6 +126,7 @@ Status LockManager::Lock(TxnId txn, const LockId& id, LockMode mode) {
     req.is_upgrade = true;
     head.waiting.push_front(*slot);
     stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    if (waits_out != nullptr) ++*waits_out;
     if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph &&
         !AddWaitEdges(txn, head, g)) {
       head.waiting.pop_front();
@@ -170,6 +172,7 @@ Status LockManager::Lock(TxnId txn, const LockId& id, LockMode mode) {
   }
   head.waiting.push_back(*slot);
   stats_.waits.fetch_add(1, std::memory_order_relaxed);
+  if (waits_out != nullptr) ++*waits_out;
   if (options_.deadlock_policy == DeadlockPolicy::kWaitsForGraph &&
       !AddWaitEdges(txn, head, UINT32_MAX)) {
     head.waiting.pop_back();

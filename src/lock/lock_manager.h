@@ -64,8 +64,12 @@ class LockManager {
 
   /// Acquires (or upgrades to) `mode` on `id` for `txn`. Blocks up to the
   /// configured timeout; returns Deadlock on expiry. Re-acquiring an equal
-  /// or weaker mode is a no-op.
-  Status Lock(TxnId txn, const LockId& id, LockMode mode);
+  /// or weaker mode is a no-op. When `waits_out` is non-null it is
+  /// incremented once if the request had to park — the hook per-session
+  /// statistics use so worker threads never touch a shared counter on
+  /// their own hot path.
+  Status Lock(TxnId txn, const LockId& id, LockMode mode,
+              uint64_t* waits_out = nullptr);
 
   /// Releases txn's lock on `id` (all modes).
   Status Unlock(TxnId txn, const LockId& id);

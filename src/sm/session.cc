@@ -1,0 +1,224 @@
+#include "sm/session.h"
+
+#include "page/slotted_page.h"
+
+namespace shoremt::sm {
+
+// ---------------------------------------------------------------- Session --
+
+std::unique_ptr<Session> StorageManager::OpenSession() {
+  uint64_t seq = session_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Distinct, well-mixed seed stream per session.
+  return std::unique_ptr<Session>(
+      new Session(this, 0x5e5510aaULL ^ (seq * 0x9e3779b97f4a7c15ULL)));
+}
+
+Session::Session(StorageManager* sm, uint64_t seed) : sm_(sm), rng_(seed) {}
+
+Session::~Session() {
+  if (txn_ != nullptr) (void)Abort();
+  Harvest();
+}
+
+void Session::Harvest() {
+  sm_->HarvestSessionStats(stats_);
+  stats_ = SessionStats{};
+}
+
+Status Session::RequireTxn() const {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("session has no open transaction");
+  }
+  return Status::Ok();
+}
+
+Status Session::Begin() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("session already has an open transaction");
+  }
+  txn_ = sm_->txns_->Begin();
+  ++stats_.begins;
+  return Status::Ok();
+}
+
+Status Session::Commit() {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  // Commit destroys the Transaction object, so its final counters come
+  // back through the out-param (they include the commit record itself).
+  txn::TxnManager::TxnCounters counters;
+  Status st = sm_->txns_->Commit(txn_, &counters);
+  if (st.ok()) {
+    txn_ = nullptr;
+    stats_.lock_waits += counters.lock_waits;
+    stats_.log_bytes += counters.log_bytes;
+    ++stats_.commits;
+    return st;
+  }
+  // Failed commit (log append/flush error): the transaction is still
+  // active and holds every lock — roll it back rather than strand them.
+  // If the commit record was appended before the flush failed, the WAL
+  // may end up carrying both outcomes; the CLRs + abort record win at
+  // recovery, matching the failure this caller observes.
+  (void)Abort();
+  return st;
+}
+
+Status Session::Abort() {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  txn::TxnManager::TxnCounters counters;
+  Status st = sm_->txns_->Abort(txn_, &counters);
+  if (!st.ok()) return st;  // Still active; the caller may retry Abort.
+  txn_ = nullptr;
+  stats_.lock_waits += counters.lock_waits;
+  stats_.log_bytes += counters.log_bytes;
+  ++stats_.aborts;
+  return st;
+}
+
+Result<TableInfo> Session::CreateTable(const std::string& name) {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  return sm_->CreateTable(txn_, name);
+}
+
+Result<TableInfo> Session::OpenTable(const std::string& name) {
+  if (txn_ != nullptr) return sm_->OpenTable(txn_, name);
+  // No open transaction: run the lookup in a short internal one so the
+  // store-lock handshake with in-flight DDL still applies.
+  txn::Transaction* peek = sm_->txns_->Begin();
+  Result<TableInfo> info = sm_->OpenTable(peek, name);
+  Status end = sm_->txns_->Commit(peek);
+  if (!info.ok()) return info;
+  if (!end.ok()) return end;
+  return info;
+}
+
+Result<RecordId> Session::Insert(const TableInfo& table, uint64_t key,
+                                 std::span<const uint8_t> payload) {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  Result<RecordId> rid = sm_->Insert(txn_, table, key, payload);
+  if (rid.ok()) ++stats_.inserts;
+  return rid;
+}
+
+Result<std::span<const uint8_t>> Session::Read(const TableInfo& table,
+                                               uint64_t key) {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  SHOREMT_RETURN_NOT_OK(sm_->ReadInto(txn_, table, key, &read_buf_));
+  ++stats_.reads;
+  return std::span<const uint8_t>(read_buf_);
+}
+
+Status Session::Update(const TableInfo& table, uint64_t key,
+                       std::span<const uint8_t> payload) {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  Status st = sm_->Update(txn_, table, key, payload);
+  if (st.ok()) ++stats_.updates;
+  return st;
+}
+
+Status Session::Delete(const TableInfo& table, uint64_t key) {
+  SHOREMT_RETURN_NOT_OK(RequireTxn());
+  Status st = sm_->Delete(txn_, table, key);
+  if (st.ok()) ++stats_.deletes;
+  return st;
+}
+
+Cursor Session::OpenCursor(const TableInfo& table) {
+  return Cursor(this, table, sm_->index_of(table));
+}
+
+Status Session::Apply(const TableInfo& table, std::span<const Op> ops) {
+  bool own_txn = (txn_ == nullptr);
+  if (own_txn) SHOREMT_RETURN_NOT_OK(Begin());
+  ++stats_.batches;
+  for (const Op& op : ops) {
+    Status st;
+    switch (op.type) {
+      case OpType::kInsert:
+        st = Insert(table, op.key, op.payload).status();
+        break;
+      case OpType::kUpdate:
+        st = Update(table, op.key, op.payload);
+        break;
+      case OpType::kDelete:
+        st = Delete(table, op.key);
+        break;
+    }
+    if (!st.ok()) {
+      // Atomic batch: in own-transaction mode nothing survives. Inside a
+      // caller transaction the caller decides (and must Abort).
+      if (own_txn) (void)Abort();
+      return st;
+    }
+    ++stats_.batch_ops;
+  }
+  // One commit — and therefore one log flush — covers the whole batch's
+  // appends (the group-commit seam this entry point exists for).
+  if (own_txn) return Commit();
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------- Cursor --
+
+Cursor::Cursor(Session* session, const TableInfo& table, btree::BTree* tree)
+    : session_(session), table_(table), it_(tree) {}
+
+Status Cursor::Seek(uint64_t key) {
+  valid_ = false;
+  if (session_ == nullptr) return Status::InvalidArgument("detached cursor");
+  SHOREMT_RETURN_NOT_OK(session_->RequireTxn());
+  if (session_->sm_->index_of(table_) == nullptr) {
+    return Status::NotFound("unknown table");
+  }
+  SHOREMT_RETURN_NOT_OK(it_.Seek(key));
+  return SettleOnRow();
+}
+
+Status Cursor::Next() {
+  if (!valid_) return Status::InvalidArgument("Next on invalid cursor");
+  valid_ = false;
+  SHOREMT_RETURN_NOT_OK(session_->RequireTxn());
+  SHOREMT_RETURN_NOT_OK(it_.Next());
+  return SettleOnRow();
+}
+
+Status Cursor::SettleOnRow() {
+  StorageManager* sm = session_->sm_;
+  btree::BTree* index = sm->index_of(table_);
+  if (index == nullptr) return Status::NotFound("unknown table");
+  while (it_.Valid()) {
+    RecordId rid = it_.record();
+    SHOREMT_RETURN_NOT_OK(sm->txns()->LockRecord(
+        session_->txn_, table_.heap_store, rid, lock::LockMode::kS));
+    // The buffered (key, rid) pair may be stale by the time the lock is
+    // granted: the row can have been deleted — and its heap slot reused
+    // by a different key — between the index probe and here. Re-probe
+    // the index under the lock; deletion of this rid is impossible once
+    // the S lock is held, so a matching probe pins the pair for the
+    // read below.
+    auto current = index->Find(nullptr, it_.key());
+    if (!current.ok() || *current != rid) {
+      SHOREMT_RETURN_NOT_OK(it_.Next());
+      continue;
+    }
+    SHOREMT_ASSIGN_OR_RETURN(
+        buffer::PageHandle h,
+        sm->pool()->FixPage(rid.page, sync::LatchMode::kShared));
+    page::SlottedPage sp(h.data());
+    auto rec = sp.Read(rid.slot);
+    if (!rec.ok()) {
+      // Row deleted between the index probe and the heap read: skip it,
+      // as the callback Scan always did.
+      SHOREMT_RETURN_NOT_OK(it_.Next());
+      continue;
+    }
+    value_buf_.assign(rec->begin(), rec->end());
+    key_ = it_.key();
+    valid_ = true;
+    ++session_->stats_.cursor_rows;
+    return Status::Ok();
+  }
+  return Status::Ok();  // Exhausted: cursor stays invalid.
+}
+
+}  // namespace shoremt::sm

@@ -1,0 +1,164 @@
+#ifndef SHOREMT_SM_SESSION_H_
+#define SHOREMT_SM_SESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sm/session_stats.h"
+#include "sm/storage_manager.h"
+
+namespace shoremt::sm {
+
+/// One logical row operation for Session::Apply. `payload` must stay alive
+/// until Apply returns; it is ignored for kDelete.
+enum class OpType : uint8_t { kInsert, kUpdate, kDelete };
+struct Op {
+  OpType type = OpType::kInsert;
+  uint64_t key = 0;
+  std::span<const uint8_t> payload{};
+};
+
+class Session;
+
+/// Pull-style row cursor over one table's index, bound to the session's
+/// current transaction. Layered on btree::BTree::Iterator: the iterator
+/// yields (key, RecordId) with no latches held between rows, the cursor
+/// adds shared row locks and the heap read. Rows deleted between the index
+/// probe and the heap read are skipped, exactly as the old callback Scan
+/// did.
+///
+///   auto cur = session->OpenCursor(table);
+///   for (auto st = cur.Seek(lo); cur.Valid() && cur.key() <= hi;
+///        st = cur.Next()) { use(cur.key(), cur.value()); }
+///
+/// `value()` points into a buffer owned by the cursor and is invalidated
+/// by the next Seek/Next. A cursor must not outlive its session or the
+/// transaction it started under.
+class Cursor {
+ public:
+  /// Positions at the first row with key >= `key`. A failed Seek/Next
+  /// (e.g. a lock timeout) leaves the cursor invalid.
+  Status Seek(uint64_t key);
+  /// Advances to the next row; the cursor becomes invalid past the last.
+  Status Next();
+  bool Valid() const { return valid_; }
+
+  uint64_t key() const { return key_; }
+  std::span<const uint8_t> value() const { return value_buf_; }
+
+ private:
+  friend class Session;
+  Cursor(Session* session, const TableInfo& table, btree::BTree* tree);
+
+  /// Locks + heap-reads rows starting at the iterator's position until one
+  /// still exists, leaving the cursor on it (or invalid at end).
+  Status SettleOnRow();
+
+  Session* session_;
+  TableInfo table_;
+  btree::BTree::Iterator it_;
+  std::vector<uint8_t> value_buf_;
+  uint64_t key_ = 0;
+  bool valid_ = false;
+};
+
+/// A worker thread's handle onto the storage manager (the tentpole of the
+/// Shore-MT redesign): each thread opens one session and runs all
+/// transaction lifecycle and DML through it. The session owns the state a
+/// worker needs — an RNG, a reusable read buffer, and a SessionStats block
+/// — so the per-operation path touches no shared counters at all;
+/// statistics reach the manager only at session close or via Harvest(),
+/// mirroring the paper's distributed statistics fix (§5).
+///
+/// A session is NOT thread-safe and carries at most one open transaction.
+class Session {
+ public:
+  ~Session();  ///< Aborts any open transaction, then harvests.
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- transaction lifecycle ----------------------------------------------
+
+  /// Starts a transaction; InvalidArgument if one is already open.
+  Status Begin();
+  /// Commits the open transaction (forces the log if it wrote anything).
+  Status Commit();
+  /// Aborts the open transaction, rolling back through the WAL chain.
+  Status Abort();
+  bool InTransaction() const { return txn_ != nullptr; }
+  /// The open transaction (nullptr outside one) — interop hook for code
+  /// still on the deprecated facade.
+  txn::Transaction* txn() { return txn_; }
+
+  // --- catalog ------------------------------------------------------------
+
+  /// Creates a table under the open transaction, holding X store locks
+  /// until it ends.
+  Result<TableInfo> CreateTable(const std::string& name);
+  /// Looks up a table, taking a shared store lock so in-flight DDL is
+  /// never observed half-created. Uses the open transaction when there is
+  /// one, else a short internal transaction.
+  Result<TableInfo> OpenTable(const std::string& name);
+
+  // --- DML (under the open transaction) -----------------------------------
+
+  Result<RecordId> Insert(const TableInfo& table, uint64_t key,
+                          std::span<const uint8_t> payload);
+  /// Reads into the session's reusable buffer; the span is valid until the
+  /// next Read/Apply on this session.
+  Result<std::span<const uint8_t>> Read(const TableInfo& table, uint64_t key);
+  Status Update(const TableInfo& table, uint64_t key,
+                std::span<const uint8_t> payload);
+  Status Delete(const TableInfo& table, uint64_t key);
+
+  /// Opens a cursor over `table` bound to this session's transactions.
+  Cursor OpenCursor(const TableInfo& table);
+
+  // --- batched execution --------------------------------------------------
+
+  /// Applies `ops` in order as one atomic batch. With no transaction open,
+  /// the batch runs in its own transaction: every log append in the batch
+  /// shares a single commit-time flush (the group-commit seam), and any
+  /// failure aborts the whole batch — nothing persists. Inside an open
+  /// transaction the ops simply join it; a failure then leaves the
+  /// transaction poisoned and the caller must Abort().
+  Status Apply(const TableInfo& table, std::span<const Op> ops);
+
+  // --- per-session state --------------------------------------------------
+
+  /// The session's private RNG (seeded uniquely per session).
+  Rng& rng() { return rng_; }
+  /// This session's counters since the last Harvest().
+  const SessionStats& stats() const { return stats_; }
+  /// Folds the local counters into the manager's aggregate and zeroes
+  /// them. Called automatically on destruction.
+  void Harvest();
+
+  StorageManager* manager() { return sm_; }
+
+ private:
+  friend class StorageManager;
+  friend class Cursor;
+
+  Session(StorageManager* sm, uint64_t seed);
+
+  /// Guard used by every DML entry point.
+  Status RequireTxn() const;
+
+  StorageManager* sm_;
+  txn::Transaction* txn_ = nullptr;
+  Rng rng_;
+  std::vector<uint8_t> read_buf_;
+  SessionStats stats_;
+};
+
+}  // namespace shoremt::sm
+
+#endif  // SHOREMT_SM_SESSION_H_

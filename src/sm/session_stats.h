@@ -1,0 +1,107 @@
+#ifndef SHOREMT_SM_SESSION_STATS_H_
+#define SHOREMT_SM_SESSION_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace shoremt::sm {
+
+/// Per-session operation counters. Plain integers on purpose: a session is
+/// owned by exactly one worker thread, so bumping these costs a register
+/// increment — the Shore-MT lesson that even "innocent" shared statistics
+/// counters serialize the multicore hot path (§5). Totals reach the
+/// manager only through Session::Harvest / session close, which add into
+/// the SessionStatsAggregate below.
+struct SessionStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+
+  uint64_t inserts = 0;
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t cursor_rows = 0;  ///< Rows returned through cursors.
+
+  uint64_t batches = 0;    ///< Apply() calls.
+  uint64_t batch_ops = 0;  ///< Ops submitted through Apply().
+
+  uint64_t lock_waits = 0;  ///< Lock requests that had to park.
+  uint64_t log_bytes = 0;   ///< WAL bytes appended by this session's txns.
+
+  /// Total row operations (the "ops" a workload reports).
+  uint64_t ops() const {
+    return inserts + reads + updates + deletes + cursor_rows;
+  }
+
+  void Add(const SessionStats& o) {
+    begins += o.begins;
+    commits += o.commits;
+    aborts += o.aborts;
+    inserts += o.inserts;
+    reads += o.reads;
+    updates += o.updates;
+    deletes += o.deletes;
+    cursor_rows += o.cursor_rows;
+    batches += o.batches;
+    batch_ops += o.batch_ops;
+    lock_waits += o.lock_waits;
+    log_bytes += o.log_bytes;
+  }
+};
+
+/// The manager-side aggregation target. Harvests are rare (session close
+/// or explicit Harvest), so relaxed fetch_adds are plenty — the point is
+/// that nothing on a per-operation path ever touches these cache lines.
+class SessionStatsAggregate {
+ public:
+  void Add(const SessionStats& s) {
+    begins_.fetch_add(s.begins, std::memory_order_relaxed);
+    commits_.fetch_add(s.commits, std::memory_order_relaxed);
+    aborts_.fetch_add(s.aborts, std::memory_order_relaxed);
+    inserts_.fetch_add(s.inserts, std::memory_order_relaxed);
+    reads_.fetch_add(s.reads, std::memory_order_relaxed);
+    updates_.fetch_add(s.updates, std::memory_order_relaxed);
+    deletes_.fetch_add(s.deletes, std::memory_order_relaxed);
+    cursor_rows_.fetch_add(s.cursor_rows, std::memory_order_relaxed);
+    batches_.fetch_add(s.batches, std::memory_order_relaxed);
+    batch_ops_.fetch_add(s.batch_ops, std::memory_order_relaxed);
+    lock_waits_.fetch_add(s.lock_waits, std::memory_order_relaxed);
+    log_bytes_.fetch_add(s.log_bytes, std::memory_order_relaxed);
+  }
+
+  SessionStats Snapshot() const {
+    SessionStats s;
+    s.begins = begins_.load(std::memory_order_relaxed);
+    s.commits = commits_.load(std::memory_order_relaxed);
+    s.aborts = aborts_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.updates = updates_.load(std::memory_order_relaxed);
+    s.deletes = deletes_.load(std::memory_order_relaxed);
+    s.cursor_rows = cursor_rows_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
+    s.lock_waits = lock_waits_.load(std::memory_order_relaxed);
+    s.log_bytes = log_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> begins_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> cursor_rows_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_ops_{0};
+  std::atomic<uint64_t> lock_waits_{0};
+  std::atomic<uint64_t> log_bytes_{0};
+};
+
+}  // namespace shoremt::sm
+
+#endif  // SHOREMT_SM_SESSION_STATS_H_

@@ -99,16 +99,35 @@ btree::BTree* StorageManager::index_of(const TableInfo& table) {
 
 Result<TableInfo> StorageManager::CreateTable(txn::Transaction* txn,
                                               const std::string& name) {
+  // Reserve the name under the catalog mutex so two racing CreateTable
+  // calls cannot both pass the uniqueness check and overwrite each
+  // other's catalog entry; the reservation is dropped on any error.
   {
     std::lock_guard<std::mutex> guard(catalog_mutex_);
-    if (catalog_.contains(name)) {
+    if (catalog_.contains(name) || !creating_.insert(name).second) {
       return Status::AlreadyExists("table exists: " + name);
     }
   }
+  Result<TableInfo> result = CreateTableReserved(txn, name);
+  std::lock_guard<std::mutex> guard(catalog_mutex_);
+  creating_.erase(name);
+  return result;
+}
+
+Result<TableInfo> StorageManager::CreateTableReserved(
+    txn::Transaction* txn, const std::string& name) {
   TableInfo info;
   info.name = name;
   info.heap_store = next_store_.fetch_add(1, std::memory_order_relaxed);
   info.index_store = next_store_.fetch_add(1, std::memory_order_relaxed);
+
+  // Exclusive store locks, held until the DDL transaction ends: a
+  // concurrent transactional OpenTable blocks on these instead of
+  // observing the table half-created.
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockStore(txn, info.heap_store, lock::LockMode::kX));
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockStore(txn, info.index_store, lock::LockMode::kX));
 
   for (StoreId sid : {info.heap_store, info.index_store}) {
     SHOREMT_RETURN_NOT_OK(space_->CreateStore(sid));
@@ -143,6 +162,19 @@ Result<TableInfo> StorageManager::OpenTable(const std::string& name) const {
   auto it = catalog_.find(name);
   if (it == catalog_.end()) return Status::NotFound("no table " + name);
   return it->second;
+}
+
+Result<TableInfo> StorageManager::OpenTable(txn::Transaction* txn,
+                                            const std::string& name) {
+  SHOREMT_ASSIGN_OR_RETURN(
+      TableInfo info,
+      static_cast<const StorageManager*>(this)->OpenTable(name));
+  // Shared store lock: if the creating transaction still holds its X
+  // locks, we wait here until the DDL commits (or time out if it never
+  // does) rather than touch a half-built table.
+  SHOREMT_RETURN_NOT_OK(
+      txns_->LockStore(txn, info.heap_store, lock::LockMode::kIS));
+  return info;
 }
 
 Result<RecordId> StorageManager::HeapInsert(txn::Transaction* txn,
@@ -229,9 +261,8 @@ Result<RecordId> StorageManager::Insert(txn::Transaction* txn,
   return rid;
 }
 
-Result<std::vector<uint8_t>> StorageManager::Read(txn::Transaction* txn,
-                                                  const TableInfo& table,
-                                                  uint64_t key) {
+Status StorageManager::ReadInto(txn::Transaction* txn, const TableInfo& table,
+                                uint64_t key, std::vector<uint8_t>* out) {
   btree::BTree* index = index_of(table);
   if (index == nullptr) return Status::NotFound("unknown table");
   SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
@@ -241,7 +272,16 @@ Result<std::vector<uint8_t>> StorageManager::Read(txn::Transaction* txn,
                            pool_->FixPage(rid.page, LatchMode::kShared));
   page::SlottedPage sp(h.data());
   SHOREMT_ASSIGN_OR_RETURN(std::span<const uint8_t> rec, sp.Read(rid.slot));
-  return std::vector<uint8_t>(rec.begin(), rec.end());
+  out->assign(rec.begin(), rec.end());
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> StorageManager::Read(txn::Transaction* txn,
+                                                  const TableInfo& table,
+                                                  uint64_t key) {
+  std::vector<uint8_t> row;
+  SHOREMT_RETURN_NOT_OK(ReadInto(txn, table, key, &row));
+  return row;
 }
 
 Status StorageManager::Update(txn::Transaction* txn, const TableInfo& table,

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "btree/btree.h"
@@ -18,10 +19,13 @@
 #include "lock/lock_manager.h"
 #include "log/log_manager.h"
 #include "sm/options.h"
+#include "sm/session_stats.h"
 #include "space/space_manager.h"
 #include "txn/txn_manager.h"
 
 namespace shoremt::sm {
+
+class Session;
 
 /// A user table: a heap store for rows plus a unique B+Tree index mapping
 /// 64-bit keys to row RecordIds.
@@ -32,17 +36,26 @@ struct TableInfo {
   PageNum index_root = kInvalidPageNum;
 };
 
-/// The public storage manager facade — the "value-added server" API of the
-/// original Shore. Owns every subsystem: buffer pool, log, locks,
-/// transactions, free space, B+Tree indexes.
+/// The storage manager — the "value-added server" of the original Shore.
+/// Owns every subsystem: buffer pool, log, locks, transactions, free
+/// space, B+Tree indexes.
 ///
-/// Typical use:
+/// Worker threads talk to the engine through an sm::Session (sm/session.h),
+/// which owns all per-thread state — RNG, read buffer, statistics:
+///
 ///   auto sm = StorageManager::Open(StorageOptions::ForStage(Stage::kFinal),
 ///                                  &volume, &log_storage);
-///   auto* txn = (*sm)->Begin();
-///   auto table = (*sm)->CreateTable(txn, "accounts");
-///   (*sm)->Insert(txn, *table, /*key=*/1, payload);
-///   (*sm)->Commit(txn);
+///   auto session = (*sm)->OpenSession();
+///   session->Begin();
+///   auto table = session->CreateTable("accounts");
+///   session->Insert(*table, /*key=*/1, payload);
+///   session->Commit();
+///
+/// The transaction-pointer facade below (Begin/Commit/Insert/... taking a
+/// txn::Transaction*) is DEPRECATED: it remains as a thin shim over the
+/// same internals for one release so existing callers can migrate
+/// incrementally, but new code should go through Session, whose shape
+/// keeps worker-thread state thread-private by construction.
 class StorageManager {
  public:
   /// Opens a storage manager over `volume` + `log_storage` (both owned by
@@ -58,7 +71,23 @@ class StorageManager {
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
 
-  // --- transactions -------------------------------------------------------
+  // --- sessions -----------------------------------------------------------
+
+  /// Opens a session — the per-worker-thread handle all new code uses for
+  /// transactions and DML. Each worker thread opens exactly one; the
+  /// session must not outlive the manager. Destroying (or Harvest()ing)
+  /// the session folds its statistics into harvested_session_stats().
+  std::unique_ptr<Session> OpenSession();
+
+  /// Sum of every harvested session's counters (sessions publish on close
+  /// or explicit Harvest — the distributed-statistics design of §5).
+  SessionStats harvested_session_stats() const {
+    return session_stats_.Snapshot();
+  }
+  /// Internal: sessions fold their local counters in through this.
+  void HarvestSessionStats(const SessionStats& s) { session_stats_.Add(s); }
+
+  // --- transactions (DEPRECATED shims — use Session) ----------------------
 
   txn::Transaction* Begin() { return txns_->Begin(); }
   Status Commit(txn::Transaction* txn) { return txns_->Commit(txn); }
@@ -66,14 +95,23 @@ class StorageManager {
 
   // --- DDL ----------------------------------------------------------------
 
-  /// Creates a table (heap + index). The catalog entry is logged and
-  /// survives recovery.
+  /// Creates a table (heap + index) holding exclusive store locks until
+  /// `txn` ends, so concurrent OpenTable(txn, ...) callers cannot observe
+  /// the table half-created. The catalog entry is logged and survives
+  /// recovery. DDL is not undone on abort (structure records are
+  /// redo-only, as in the original system): if `txn` aborts, the table
+  /// remains — whole and empty — and keeps its name.
   Result<TableInfo> CreateTable(txn::Transaction* txn,
                                 const std::string& name);
-  /// Looks up a table by name.
+  /// Looks up a table by name under `txn`, taking a shared store lock: a
+  /// lookup racing in-flight DDL blocks until the DDL commits or aborts.
+  Result<TableInfo> OpenTable(txn::Transaction* txn, const std::string& name);
+  /// DEPRECATED: lock-free catalog peek. Can observe a table whose
+  /// creating transaction has not committed; use the transactional
+  /// overload (or Session::OpenTable).
   Result<TableInfo> OpenTable(const std::string& name) const;
 
-  // --- DML (key → row payload) --------------------------------------------
+  // --- DML (key → row payload; DEPRECATED shims — use Session) ------------
 
   /// Inserts a row; locks the new row exclusively; indexes `key`.
   Result<RecordId> Insert(txn::Transaction* txn, const TableInfo& table,
@@ -86,8 +124,9 @@ class StorageManager {
                 std::span<const uint8_t> payload);
   /// Deletes the row for `key` (heap + index) under an exclusive lock.
   Status Delete(txn::Transaction* txn, const TableInfo& table, uint64_t key);
-  /// Ordered scan of [lo, hi] taking shared row locks; `fn` returns false
-  /// to stop.
+  /// DEPRECATED: callback scan of [lo, hi] taking shared row locks; `fn`
+  /// returns false to stop. New code iterates with sm::Cursor
+  /// (Session::OpenCursor), which pulls rows without inverting control.
   Status Scan(txn::Transaction* txn, const TableInfo& table, uint64_t lo,
               uint64_t hi,
               const std::function<bool(uint64_t, std::span<const uint8_t>)>& fn);
@@ -114,8 +153,19 @@ class StorageManager {
   const StorageOptions& options() const { return options_; }
 
  private:
+  friend class Session;
+
   StorageManager(StorageOptions options, io::Volume* volume,
                  log::LogStorage* log_storage);
+
+  /// Reads the row for `key` into `out` (reused across calls by sessions)
+  /// under a shared row lock. Backs both Read overload styles.
+  Status ReadInto(txn::Transaction* txn, const TableInfo& table, uint64_t key,
+                  std::vector<uint8_t>* out);
+
+  /// CreateTable body after the name has been reserved in `creating_`.
+  Result<TableInfo> CreateTableReserved(txn::Transaction* txn,
+                                        const std::string& name);
 
   /// ARIES-style restart: analysis, redo, undo.
   Status Recover();
@@ -145,8 +195,13 @@ class StorageManager {
 
   mutable std::mutex catalog_mutex_;
   std::unordered_map<std::string, TableInfo> catalog_;
+  /// Names with an in-flight CreateTable (uniqueness holds across the
+  /// gap between the check and RegisterTable).
+  std::unordered_set<std::string> creating_;
   std::unordered_map<StoreId, std::unique_ptr<btree::BTree>> indexes_;
   std::atomic<StoreId> next_store_{1};
+  std::atomic<uint64_t> session_seq_{1};  ///< Per-session RNG seed stream.
+  SessionStatsAggregate session_stats_;
   bool crashed_ = false;
 };
 

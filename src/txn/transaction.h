@@ -30,6 +30,13 @@ struct Transaction {
   /// End LSN of the newest record (commit-flush target).
   Lsn last_end;
 
+  /// WAL bytes appended on behalf of this transaction (record payloads
+  /// between start and end LSN). Thread-private: feeds the owning
+  /// session's statistics without touching a shared counter.
+  uint64_t log_bytes = 0;
+  /// Lock requests by this transaction that had to park.
+  uint64_t lock_waits = 0;
+
   /// Locks held, in acquisition order (released in reverse at end).
   std::vector<lock::LockId> held_locks;
   /// Fast dedupe of held_locks.

@@ -46,7 +46,7 @@ void TxnManager::ReleaseAllLocks(Transaction* txn) {
   txn->held_set.clear();
 }
 
-Status TxnManager::Commit(Transaction* txn) {
+Status TxnManager::Commit(Transaction* txn, TxnCounters* counters_out) {
   if (txn->state != TxnState::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
@@ -56,8 +56,12 @@ Status TxnManager::Commit(Transaction* txn) {
     rec.txn = txn->id;
     rec.prev_lsn = txn->last_lsn;
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
+    txn->log_bytes += a.end.value - a.lsn.value;
     // Durability point: the commit record must reach the log device.
     SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
+  }
+  if (counters_out != nullptr) {
+    *counters_out = TxnCounters{txn->log_bytes, txn->lock_waits};
   }
   txn->state = TxnState::kCommitted;
   ReleaseAllLocks(txn);
@@ -66,7 +70,7 @@ Status TxnManager::Commit(Transaction* txn) {
   return Status::Ok();
 }
 
-Status TxnManager::Abort(Transaction* txn) {
+Status TxnManager::Abort(Transaction* txn, TxnCounters* counters_out) {
   if (txn->state != TxnState::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
@@ -88,7 +92,13 @@ Status TxnManager::Abort(Transaction* txn) {
     done.txn = txn->id;
     done.prev_lsn = txn->last_lsn;
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(done));
+    txn->log_bytes += a.end.value - a.lsn.value;
     SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
+  }
+  // Counters are read only now: the undo pass above appended CLRs (via
+  // NoteLogged), which must be part of the reported WAL traffic.
+  if (counters_out != nullptr) {
+    *counters_out = TxnCounters{txn->log_bytes, txn->lock_waits};
   }
   txn->state = TxnState::kAborted;
   ReleaseAllLocks(txn);
@@ -101,11 +111,12 @@ Status TxnManager::LockStore(Transaction* txn, StoreId store, LockMode mode) {
   LockId vol = LockId::Volume();
   LockMode vol_mode = lock::IntentionFor(mode);
   if (vol_mode != LockMode::kNone) {
-    SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, vol, vol_mode));
+    SHOREMT_RETURN_NOT_OK(
+        locks_->Lock(txn->id, vol, vol_mode, &txn->lock_waits));
     txn->RememberLock(vol);
   }
   LockId sid = LockId::Store(store);
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, sid, mode));
+  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, sid, mode, &txn->lock_waits));
   txn->RememberLock(sid);
   return Status::Ok();
 }
@@ -130,12 +141,14 @@ Status TxnManager::LockRecord(Transaction* txn, StoreId store, RecordId rid,
   }
 
   LockMode intent = lock::IntentionFor(mode);
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, LockId::Volume(), intent));
+  SHOREMT_RETURN_NOT_OK(
+      locks_->Lock(txn->id, LockId::Volume(), intent, &txn->lock_waits));
   txn->RememberLock(LockId::Volume());
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, LockId::Store(store), intent));
+  SHOREMT_RETURN_NOT_OK(
+      locks_->Lock(txn->id, LockId::Store(store), intent, &txn->lock_waits));
   txn->RememberLock(LockId::Store(store));
   LockId row = LockId::Record(store, rid);
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, row, mode));
+  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, row, mode, &txn->lock_waits));
   txn->RememberLock(row);
   ++txn->row_lock_counts[store];
   return Status::Ok();

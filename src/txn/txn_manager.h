@@ -55,13 +55,23 @@ class TxnManager {
   /// Starts a transaction; the pointer stays valid until Commit/Abort.
   Transaction* Begin();
 
+  /// A transaction's final private counters, reported to the caller at
+  /// Commit/Abort because the Transaction object is destroyed there —
+  /// includes the commit/abort records and any rollback CLRs.
+  struct TxnCounters {
+    uint64_t log_bytes = 0;
+    uint64_t lock_waits = 0;
+  };
+
   /// Commits: forces the log (if the txn wrote anything), then releases
-  /// locks. The Transaction object is destroyed.
-  Status Commit(Transaction* txn);
+  /// locks. The Transaction object is destroyed; on success its final
+  /// counters are written to `counters_out` (if non-null).
+  Status Commit(Transaction* txn, TxnCounters* counters_out = nullptr);
 
   /// Aborts: undoes the txn's updates via the WAL chain (logging CLRs),
-  /// then releases locks and destroys the object.
-  Status Abort(Transaction* txn);
+  /// then releases locks and destroys the object, reporting final
+  /// counters like Commit.
+  Status Abort(Transaction* txn, TxnCounters* counters_out = nullptr);
 
   /// Acquires a record lock plus the intention locks above it, escalating
   /// to a store lock past the configured threshold.
@@ -94,6 +104,7 @@ class TxnManager {
     if (txn->first_lsn.IsNull()) txn->first_lsn = lsn;
     txn->last_lsn = lsn;
     txn->last_end = end;
+    txn->log_bytes += end.value - lsn.value;
   }
 
   const TxnStats& stats() const { return stats_; }

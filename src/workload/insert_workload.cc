@@ -9,36 +9,48 @@ Result<InsertBenchState> SetupInsertBench(sm::StorageManager* sm,
   InsertBenchState state;
   state.tables.resize(config.clients);
   state.next_key.assign(config.clients, 0);
+  state.batches.resize(config.clients);
   for (int c = 0; c < config.clients; ++c) {
-    auto* txn = sm->Begin();
+    state.sessions.push_back(sm->OpenSession());
+    sm::Session* session = state.sessions.back().get();
+    SHOREMT_RETURN_NOT_OK(session->Begin());
     SHOREMT_ASSIGN_OR_RETURN(
         state.tables[c],
-        sm->CreateTable(txn, "insert_bench_" + std::to_string(c)));
-    SHOREMT_RETURN_NOT_OK(sm->Commit(txn));
+        session->CreateTable("insert_bench_" + std::to_string(c)));
+    SHOREMT_RETURN_NOT_OK(session->Commit());
+    // Build the client's reusable batch once; the run loop only rewrites
+    // keys and a payload byte.
+    InsertBenchState::Batch& batch = state.batches[c];
+    batch.payloads.assign(config.records_per_commit,
+                          std::vector<uint8_t>(config.record_bytes, 0xab));
+    batch.ops.reserve(config.records_per_commit);
+    for (uint64_t i = 0; i < config.records_per_commit; ++i) {
+      batch.ops.push_back(sm::Op{sm::OpType::kInsert, 0,
+                                 std::span<const uint8_t>(batch.payloads[i])});
+    }
   }
   return state;
 }
 
-DriverResult RunInsertBench(sm::StorageManager* sm,
-                            const InsertBenchConfig& config,
+DriverResult RunInsertBench(const InsertBenchConfig& config,
                             InsertBenchState* state) {
   return RunDriver(
       config.clients, config.warmup_ms, config.duration_ms,
-      [&](int client, Rng& rng) {
-        std::vector<uint8_t> payload(config.record_bytes, 0xab);
-        auto* txn = sm->Begin();
+      [&](int client, Rng&) {
+        sm::Session* session = state->sessions[client].get();
+        InsertBenchState::Batch& batch = state->batches[client];
         uint64_t& key = state->next_key[client];
         for (uint64_t i = 0; i < config.records_per_commit; ++i) {
-          // Vary a few payload bytes so records are not identical.
-          payload[0] = static_cast<uint8_t>(key);
-          auto rid = sm->Insert(txn, state->tables[client], key, payload);
-          if (!rid.ok()) {
-            (void)sm->Abort(txn);
-            return false;
-          }
-          ++key;
+          // Vary a payload byte so records are not identical.
+          batch.payloads[i][0] = static_cast<uint8_t>(key + i);
+          batch.ops[i].key = key + i;
         }
-        return sm->Commit(txn).ok();
+        // One atomic batch == one commit == one log flush.
+        if (!session->Apply(state->tables[client], batch.ops).ok()) {
+          return false;
+        }
+        key += config.records_per_commit;
+        return true;
       });
 }
 

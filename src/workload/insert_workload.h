@@ -2,8 +2,10 @@
 #define SHOREMT_WORKLOAD_INSERT_WORKLOAD_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/driver.h"
 
@@ -22,20 +24,32 @@ struct InsertBenchConfig {
   uint64_t duration_ms = 500;
 };
 
-/// One client's state: its private table and key counter.
+/// One client's state: its session, private table and key counter. Each
+/// worker thread drives exactly one session — the Shore-MT threading
+/// model the sm::Session API encodes.
 struct InsertBenchState {
-  std::vector<sm::TableInfo> tables;        // One per client.
-  std::vector<uint64_t> next_key;           // Per-client key sequence.
+  /// Pre-built Apply batch, rewritten in place every round so the
+  /// measured loop performs no client-side allocation.
+  struct Batch {
+    std::vector<std::vector<uint8_t>> payloads;
+    std::vector<sm::Op> ops;
+  };
+
+  std::vector<std::unique_ptr<sm::Session>> sessions;  // One per client.
+  std::vector<sm::TableInfo> tables;                   // One per client.
+  std::vector<uint64_t> next_key;                      // Per-client keys.
+  std::vector<Batch> batches;                          // One per client.
 };
 
-/// Creates the per-client private tables.
+/// Opens one session per client and creates the private tables.
 Result<InsertBenchState> SetupInsertBench(sm::StorageManager* sm,
                                           const InsertBenchConfig& config);
 
 /// Runs the microbenchmark; one "transaction" = records_per_commit inserts
-/// followed by a commit (matching the paper's reporting unit).
-DriverResult RunInsertBench(sm::StorageManager* sm,
-                            const InsertBenchConfig& config,
+/// batched through Session::Apply followed by a commit (matching the
+/// paper's reporting unit). All engine access goes through the sessions
+/// in `state`.
+DriverResult RunInsertBench(const InsertBenchConfig& config,
                             InsertBenchState* state);
 
 }  // namespace shoremt::workload

@@ -2,10 +2,12 @@
 #define SHOREMT_WORKLOAD_TPCC_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/driver.h"
 
@@ -93,6 +95,22 @@ struct HistoryRow {
   double amount;
 };
 
+/// Reads the fixed-size row struct `T` for `key` through `session`,
+/// validating the stored size — the one row-decode helper shared by the
+/// transactions, tests and examples.
+template <typename T>
+Result<T> ReadTpccRow(sm::Session* session, const sm::TableInfo& table,
+                      uint64_t key) {
+  SHOREMT_ASSIGN_OR_RETURN(std::span<const uint8_t> bytes,
+                           session->Read(table, key));
+  if (bytes.size() != sizeof(T)) {
+    return Status::Corruption("row size mismatch");
+  }
+  T row;
+  std::memcpy(&row, bytes.data(), sizeof(T));
+  return row;
+}
+
 /// The loaded database: table handles + config.
 struct TpccDatabase {
   TpccConfig config;
@@ -107,20 +125,20 @@ struct TpccDatabase {
   sm::TableInfo history;
 };
 
-/// Creates and populates all nine tables.
-Result<TpccDatabase> LoadTpcc(sm::StorageManager* sm, const TpccConfig& cfg);
+/// Creates and populates all nine tables through `session` (which must
+/// have no open transaction; the loader batches its own commits).
+Result<TpccDatabase> LoadTpcc(sm::Session* session, const TpccConfig& cfg);
 
 /// One Payment transaction (§3.2): updates warehouse + district YTD and
 /// the customer's balance, inserts a history row. `home_w` selects the
-/// terminal's warehouse. Returns false on abort (deadlock victim).
-bool RunPayment(sm::StorageManager* sm, TpccDatabase* db, uint32_t home_w,
-                Rng& rng);
+/// terminal's warehouse; randomness comes from the session's private RNG.
+/// Returns false on abort (deadlock victim).
+bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w);
 
 /// One New Order transaction (§3.2): reads warehouse/district/customer,
 /// assigns the next order id, inserts ORDER + NEW-ORDER rows, and for
 /// 5–15 items reads ITEM and updates STOCK, inserting an ORDER-LINE each.
-bool RunNewOrder(sm::StorageManager* sm, TpccDatabase* db, uint32_t home_w,
-                 Rng& rng);
+bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w);
 
 }  // namespace shoremt::workload
 

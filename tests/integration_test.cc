@@ -167,7 +167,7 @@ TEST(IntegrationTest, InsertBenchRunsAtEveryStage) {
     cfg.duration_ms = 80;
     auto state = workload::SetupInsertBench(db.get(), cfg);
     ASSERT_TRUE(state.ok()) << StageName(stage);
-    auto r = workload::RunInsertBench(db.get(), cfg, &*state);
+    auto r = workload::RunInsertBench(cfg, &*state);
     EXPECT_GT(r.txns, 0u) << StageName(stage);
   }
 }

@@ -5,6 +5,7 @@
 #include "io/volume.h"
 #include "log/log_storage.h"
 #include "simcore/simulation.h"
+#include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/driver.h"
 #include "workload/engine_profiles.h"
@@ -18,12 +19,25 @@ struct Harness {
   io::MemVolume volume;
   log::LogStorage log;
   std::unique_ptr<sm::StorageManager> sm;
+  std::unique_ptr<sm::Session> session;
 
   explicit Harness(sm::Stage stage = sm::Stage::kFinal) {
     auto opened = sm::StorageManager::Open(
         sm::StorageOptions::ForStage(stage), &volume, &log);
     EXPECT_TRUE(opened.ok());
     sm = std::move(*opened);
+    session = sm->OpenSession();
+  }
+
+  /// Counts rows in [0, UINT64_MAX] via a cursor on `session`.
+  uint64_t CountRows(const sm::TableInfo& table) {
+    uint64_t rows = 0;
+    auto cur = session->OpenCursor(table);
+    for (auto st = cur.Seek(0); cur.Valid(); st = cur.Next()) {
+      EXPECT_TRUE(st.ok());
+      ++rows;
+    }
+    return rows;
   }
 };
 
@@ -56,22 +70,37 @@ TEST(InsertBenchTest, InsertsLandInPrivateTables) {
   cfg.duration_ms = 120;
   auto state = SetupInsertBench(h.sm.get(), cfg);
   ASSERT_TRUE(state.ok());
-  auto r = RunInsertBench(h.sm.get(), cfg, &*state);
+  auto r = RunInsertBench(cfg, &*state);
   EXPECT_GT(r.txns, 0u) << "at least one 50-record commit per run";
-  // All inserted keys are readable.
-  auto* check = h.sm->Begin();
+  // All inserted keys are readable through a cursor.
+  ASSERT_TRUE(h.session->Begin().ok());
   for (int c = 0; c < cfg.clients; ++c) {
-    uint64_t rows = 0;
-    ASSERT_TRUE(h.sm->Scan(check, state->tables[c], 0, UINT64_MAX,
-                           [&](uint64_t, std::span<const uint8_t>) {
-                             ++rows;
-                             return true;
-                           }).ok());
-    EXPECT_GE(rows, static_cast<uint64_t>(r.txns) /
-                        static_cast<uint64_t>(cfg.clients) *
-                        cfg.records_per_commit / 2);
+    EXPECT_GE(h.CountRows(state->tables[c]),
+              static_cast<uint64_t>(r.txns) /
+                  static_cast<uint64_t>(cfg.clients) *
+                  cfg.records_per_commit / 2);
   }
-  ASSERT_TRUE(h.sm->Commit(check).ok());
+  ASSERT_TRUE(h.session->Commit().ok());
+}
+
+TEST(InsertBenchTest, SessionStatsAccountForBatchedInserts) {
+  Harness h;
+  InsertBenchConfig cfg;
+  cfg.clients = 2;
+  cfg.records_per_commit = 25;
+  cfg.warmup_ms = 10;
+  cfg.duration_ms = 80;
+  auto state = SetupInsertBench(h.sm.get(), cfg);
+  ASSERT_TRUE(state.ok());
+  auto r = RunInsertBench(cfg, &*state);
+  ASSERT_GT(r.txns, 0u);
+  // Harvest all bench sessions; the aggregate must cover every committed
+  // batch (warmup batches also count — hence GE) and carry log bytes.
+  for (auto& s : state->sessions) s->Harvest();
+  sm::SessionStats agg = h.sm->harvested_session_stats();
+  EXPECT_GE(agg.batches, r.txns);
+  EXPECT_GE(agg.inserts, r.txns * cfg.records_per_commit);
+  EXPECT_GT(agg.log_bytes, 0u);
 }
 
 class TpccTest : public ::testing::Test {
@@ -82,78 +111,64 @@ class TpccTest : public ::testing::Test {
     cfg.districts_per_warehouse = 2;
     cfg.customers_per_district = 30;
     cfg.items = 100;
-    auto db = LoadTpcc(h_.sm.get(), cfg);
+    auto db = LoadTpcc(h_.session.get(), cfg);
     EXPECT_TRUE(db.ok()) << db.status().ToString();
     db_ = *db;
   }
+
+  template <typename T>
+  T ReadAs(const sm::TableInfo& table, uint64_t key) {
+    auto row = ReadTpccRow<T>(h_.session.get(), table, key);
+    EXPECT_TRUE(row.ok()) << row.status().ToString();
+    return row.ValueOr(T{});
+  }
+
   Harness h_;
   TpccDatabase db_;
 };
 
 TEST_F(TpccTest, LoadPopulatesAllTables) {
-  auto* txn = h_.sm->Begin();
-  auto w = h_.sm->Read(txn, db_.warehouse, WarehouseKey(1));
-  ASSERT_TRUE(w.ok());
-  WarehouseRow wr;
-  std::memcpy(&wr, w->data(), sizeof(wr));
+  auto* session = h_.session.get();
+  ASSERT_TRUE(session->Begin().ok());
+  WarehouseRow wr = ReadAs<WarehouseRow>(db_.warehouse, WarehouseKey(1));
   EXPECT_DOUBLE_EQ(wr.ytd, 0.0);
-  EXPECT_TRUE(h_.sm->Read(txn, db_.district, DistrictKey(2, 2)).ok());
-  EXPECT_TRUE(h_.sm->Read(txn, db_.customer, CustomerKey(2, 2, 30)).ok());
-  EXPECT_TRUE(h_.sm->Read(txn, db_.item, ItemKey(100)).ok());
-  EXPECT_TRUE(h_.sm->Read(txn, db_.stock, StockKey(2, 100)).ok());
-  EXPECT_TRUE(h_.sm->Read(txn, db_.customer, CustomerKey(3, 1, 1))
+  EXPECT_TRUE(session->Read(db_.district, DistrictKey(2, 2)).ok());
+  EXPECT_TRUE(session->Read(db_.customer, CustomerKey(2, 2, 30)).ok());
+  EXPECT_TRUE(session->Read(db_.item, ItemKey(100)).ok());
+  EXPECT_TRUE(session->Read(db_.stock, StockKey(2, 100)).ok());
+  EXPECT_TRUE(session->Read(db_.customer, CustomerKey(3, 1, 1))
                   .status()
                   .IsNotFound());
-  ASSERT_TRUE(h_.sm->Commit(txn).ok());
+  ASSERT_TRUE(session->Commit().ok());
 }
 
 TEST_F(TpccTest, PaymentMovesMoney) {
-  Rng rng(1);
   int committed = 0;
   for (int i = 0; i < 20; ++i) {
-    committed += RunPayment(h_.sm.get(), &db_, 1, rng) ? 1 : 0;
+    committed += RunPayment(h_.session.get(), &db_, 1) ? 1 : 0;
   }
   EXPECT_GT(committed, 0);
-  auto* txn = h_.sm->Begin();
-  auto w = h_.sm->Read(txn, db_.warehouse, WarehouseKey(1));
-  ASSERT_TRUE(w.ok());
-  WarehouseRow wr;
-  std::memcpy(&wr, w->data(), sizeof(wr));
+  ASSERT_TRUE(h_.session->Begin().ok());
+  WarehouseRow wr = ReadAs<WarehouseRow>(db_.warehouse, WarehouseKey(1));
   EXPECT_GT(wr.ytd, 0.0) << "warehouse YTD must reflect payments";
-  // History rows were inserted.
-  uint64_t history_rows = 0;
-  ASSERT_TRUE(h_.sm->Scan(txn, db_.history, 0, UINT64_MAX,
-                          [&](uint64_t, std::span<const uint8_t>) {
-                            ++history_rows;
-                            return true;
-                          }).ok());
-  EXPECT_EQ(history_rows, static_cast<uint64_t>(committed));
-  ASSERT_TRUE(h_.sm->Commit(txn).ok());
+  // History rows were inserted (count via cursor).
+  EXPECT_EQ(h_.CountRows(db_.history), static_cast<uint64_t>(committed));
+  ASSERT_TRUE(h_.session->Commit().ok());
 }
 
 TEST_F(TpccTest, NewOrderCreatesOrderAndLines) {
-  Rng rng(2);
   int committed = 0;
   for (int i = 0; i < 10; ++i) {
-    committed += RunNewOrder(h_.sm.get(), &db_, 1, rng) ? 1 : 0;
+    committed += RunNewOrder(h_.session.get(), &db_, 1) ? 1 : 0;
   }
   ASSERT_GT(committed, 0);
-  auto* txn = h_.sm->Begin();
-  uint64_t orders = 0, lines = 0;
-  ASSERT_TRUE(h_.sm->Scan(txn, db_.orders, 0, UINT64_MAX,
-                          [&](uint64_t, std::span<const uint8_t>) {
-                            ++orders;
-                            return true;
-                          }).ok());
-  ASSERT_TRUE(h_.sm->Scan(txn, db_.order_line, 0, UINT64_MAX,
-                          [&](uint64_t, std::span<const uint8_t>) {
-                            ++lines;
-                            return true;
-                          }).ok());
+  ASSERT_TRUE(h_.session->Begin().ok());
+  uint64_t orders = h_.CountRows(db_.orders);
+  uint64_t lines = h_.CountRows(db_.order_line);
   EXPECT_EQ(orders, static_cast<uint64_t>(committed));
   EXPECT_GE(lines, orders * 5);
   EXPECT_LE(lines, orders * 15);
-  ASSERT_TRUE(h_.sm->Commit(txn).ok());
+  ASSERT_TRUE(h_.session->Commit().ok());
 }
 
 TEST_F(TpccTest, ConcurrentPaymentsStayConsistent) {
@@ -163,9 +178,10 @@ TEST_F(TpccTest, ConcurrentPaymentsStayConsistent) {
   std::atomic<int> committed{0};
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      Rng rng(100 + t);
+      // One session per worker thread — the API's intended shape.
+      auto session = h_.sm->OpenSession();
       for (int i = 0; i < kPerThread; ++i) {
-        if (RunPayment(h_.sm.get(), &db_, 1 + t % 2, rng)) {
+        if (RunPayment(session.get(), &db_, 1 + t % 2)) {
           committed.fetch_add(1);
         }
       }
@@ -175,52 +191,48 @@ TEST_F(TpccTest, ConcurrentPaymentsStayConsistent) {
   EXPECT_GT(committed.load(), 0);
   // Money conservation: sum of warehouse YTD equals committed payments'
   // total, which equals the history table's amounts.
-  auto* txn = h_.sm->Begin();
+  auto* session = h_.session.get();
+  ASSERT_TRUE(session->Begin().ok());
   double wh_ytd = 0;
   for (uint32_t w = 1; w <= db_.config.warehouses; ++w) {
-    auto row = h_.sm->Read(txn, db_.warehouse, WarehouseKey(w));
-    ASSERT_TRUE(row.ok());
-    WarehouseRow wr;
-    std::memcpy(&wr, row->data(), sizeof(wr));
-    wh_ytd += wr.ytd;
+    wh_ytd += ReadAs<WarehouseRow>(db_.warehouse, WarehouseKey(w)).ytd;
   }
   double hist_total = 0;
   uint64_t hist_rows = 0;
-  ASSERT_TRUE(h_.sm->Scan(txn, db_.history, 0, UINT64_MAX,
-                          [&](uint64_t, std::span<const uint8_t> bytes) {
-                            HistoryRow hr;
-                            std::memcpy(&hr, bytes.data(), sizeof(hr));
-                            hist_total += hr.amount;
-                            ++hist_rows;
-                            return true;
-                          }).ok());
+  auto cur = session->OpenCursor(db_.history);
+  for (auto st = cur.Seek(0); cur.Valid(); st = cur.Next()) {
+    ASSERT_TRUE(st.ok());
+    HistoryRow hr;
+    ASSERT_EQ(cur.value().size(), sizeof(hr));
+    std::memcpy(&hr, cur.value().data(), sizeof(hr));
+    hist_total += hr.amount;
+    ++hist_rows;
+  }
   EXPECT_EQ(hist_rows, static_cast<uint64_t>(committed.load()));
   EXPECT_NEAR(wh_ytd, hist_total, 1e-6)
       << "aborted payments must not leak partial updates";
-  ASSERT_TRUE(h_.sm->Commit(txn).ok());
+  ASSERT_TRUE(session->Commit().ok());
 }
 
 TEST_F(TpccTest, NewOrderIdsAreDense) {
-  Rng rng(3);
-  for (int i = 0; i < 8; ++i) (void)RunNewOrder(h_.sm.get(), &db_, 1, rng);
+  for (int i = 0; i < 8; ++i) (void)RunNewOrder(h_.session.get(), &db_, 1);
   // For each district, next_o_id - 1 == number of orders with that
   // district prefix.
-  auto* txn = h_.sm->Begin();
+  auto* session = h_.session.get();
+  ASSERT_TRUE(session->Begin().ok());
   for (uint32_t d = 1; d <= db_.config.districts_per_warehouse; ++d) {
-    auto row = h_.sm->Read(txn, db_.district, DistrictKey(1, d));
-    ASSERT_TRUE(row.ok());
-    DistrictRow dr;
-    std::memcpy(&dr, row->data(), sizeof(dr));
+    DistrictRow dr = ReadAs<DistrictRow>(db_.district, DistrictKey(1, d));
     uint64_t orders = 0;
-    ASSERT_TRUE(h_.sm->Scan(txn, db_.orders, OrderKey(1, d, 0),
-                            OrderKey(1, d, 9999999),
-                            [&](uint64_t, std::span<const uint8_t>) {
-                              ++orders;
-                              return true;
-                            }).ok());
+    auto cur = session->OpenCursor(db_.orders);
+    for (auto st = cur.Seek(OrderKey(1, d, 0));
+         cur.Valid() && cur.key() <= OrderKey(1, d, 9999999);
+         st = cur.Next()) {
+      ASSERT_TRUE(st.ok());
+      ++orders;
+    }
     EXPECT_EQ(orders, dr.next_o_id - 1) << "district " << d;
   }
-  ASSERT_TRUE(h_.sm->Commit(txn).ok());
+  ASSERT_TRUE(session->Commit().ok());
 }
 
 // ------------------------------------------------------ engine profiles ---
