@@ -25,33 +25,52 @@ namespace {
 /// Companion panel: the same microbenchmark against the real engine on
 /// this machine, driven entirely through sm::Session (one per client,
 /// batched Apply per commit). Harvested session statistics replace global
-/// counters — the per-op path is counter-free.
+/// counters — the per-op path is counter-free. Each client count runs
+/// twice: blocking Apply (sync commit) vs ApplyAsync (group-commit
+/// pipeline, WaitAll at drain); flushes/commit shows the batching.
 void RunRealEnginePanel() {
-  std::printf("--- real engine (this machine), session API ---\n");
+  std::printf("--- real engine (this machine), sync vs async commit ---\n");
   std::vector<int> clients = bench::FullMode() ? std::vector<int>{1, 2, 4, 8}
                                                : std::vector<int>{1, 2, 4};
-  std::printf("%-8s  %14s  %14s  %12s\n", "clients", "inserts/s",
-              "tps/client", "wal MB");
+  std::printf("%-6s %-8s  %14s  %12s  %10s  %13s\n", "mode", "clients",
+              "inserts/s", "tps/client", "wal MB", "flushes/commit");
   for (int c : clients) {
-    io::MemVolume volume;
-    log::LogStorage wal;
-    auto opened = sm::StorageManager::Open(
-        sm::StorageOptions::ForStage(sm::Stage::kFinal), &volume, &wal);
-    if (!opened.ok()) return;
-    auto& db = *opened;
-    InsertBenchConfig cfg;
-    cfg.clients = c;
-    cfg.records_per_commit = 100;
-    cfg.warmup_ms = bench::FullMode() ? 200 : 50;
-    cfg.duration_ms = bench::FullMode() ? 1000 : 300;
-    auto state = SetupInsertBench(db.get(), cfg);
-    if (!state.ok()) return;
-    auto r = RunInsertBench(cfg, &*state);
-    for (auto& s : state->sessions) s->Harvest();
-    sm::SessionStats stats = db->harvested_session_stats();
-    std::printf("%-8d  %14.0f  %14.2f  %12.2f\n", c,
-                r.tps * cfg.records_per_commit, r.tps_per_thread,
-                stats.log_bytes / 1e6);
+    for (bool async_commit : {false, true}) {
+      io::MemVolume volume;
+      // Modest per-flush device latency so flush amortization is visible.
+      log::LogStorage wal(/*append_latency_ns=*/100'000);
+      auto opened = sm::StorageManager::Open(
+          sm::StorageOptions::ForStage(sm::Stage::kFinal), &volume, &wal);
+      if (!opened.ok()) return;
+      auto& db = *opened;
+      InsertBenchConfig cfg;
+      cfg.clients = c;
+      cfg.records_per_commit = 100;
+      cfg.warmup_ms = bench::FullMode() ? 200 : 50;
+      cfg.duration_ms = bench::FullMode() ? 1000 : 300;
+      cfg.async_commit = async_commit;
+      auto state = SetupInsertBench(db.get(), cfg);
+      if (!state.ok()) return;
+      // Baseline after setup: the flush count and the commit count below
+      // then cover the same window (the whole run, warmup included) — the
+      // setup commits themselves are excluded via `setup_commits`.
+      uint64_t flushes_before = wal.flush_calls();
+      uint64_t setup_commits = 0;
+      for (auto& s : state->sessions) setup_commits += s->stats().commits;
+      auto r = RunInsertBench(cfg, &*state);
+      for (auto& s : state->sessions) s->Harvest();
+      sm::SessionStats stats = db->harvested_session_stats();
+      uint64_t commits = stats.commits - setup_commits;
+      double flushes_per_commit =
+          commits == 0
+              ? 0.0
+              : static_cast<double>(wal.flush_calls() - flushes_before) /
+                    static_cast<double>(commits);
+      std::printf("%-6s %-8d  %14.0f  %12.2f  %10.2f  %13.3f\n",
+                  async_commit ? "async" : "sync", c,
+                  r.tps * cfg.records_per_commit, r.tps_per_thread,
+                  stats.log_bytes / 1e6, flushes_per_commit);
+    }
   }
   std::printf("\n");
 }

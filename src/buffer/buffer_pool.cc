@@ -87,6 +87,22 @@ bool BufferPool::TryOptimisticPin(PageNum page, int frame) {
   return true;
 }
 
+bool BufferPool::AcquireVerified(int frame, PageNum page,
+                                 sync::LatchMode mode) {
+  Frame& f = frames_[frame];
+  f.latch.Acquire(mode);
+  // A pin blocks eviction but not invalidation by the frame's loader: if
+  // the thread that published this mapping hit a read error while we
+  // queued on the latch, it unmapped the frame — handing out the garbage
+  // image would turn an I/O error into silent corruption.
+  if (f.page.load(std::memory_order_acquire) != page) {
+    f.latch.Release(mode);
+    f.Unpin();
+    return false;
+  }
+  return true;
+}
+
 Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
   if (page == kInvalidPageNum) {
     return Status::InvalidArgument("cannot fix the invalid page");
@@ -100,8 +116,10 @@ Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
       if (frame >= 0 && TryOptimisticPin(page, frame)) {
         stats_.hits.fetch_add(1, std::memory_order_relaxed);
         stats_.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
-        frames_[frame].latch.Acquire(mode);
-        return PageHandle(this, frame, page, mode);
+        if (AcquireVerified(frame, page, mode)) {
+          return PageHandle(this, frame, page, mode);
+        }
+        continue;  // Frame was invalidated while we queued on the latch.
       }
     }
     // Locked path: pin under the table's bucket lock (safe from zero).
@@ -110,15 +128,18 @@ Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
     });
     if (frame >= 0) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
-      frames_[frame].latch.Acquire(mode);
-      return PageHandle(this, frame, page, mode);
+      if (AcquireVerified(frame, page, mode)) {
+        return PageHandle(this, frame, page, mode);
+      }
+      continue;
     }
-    // Miss: make sure any in-flight write-back of this page finishes, then
-    // bring it in ourselves.
-    in_transit_.WaitUntilClear(page);
+    // Miss: bring the page in ourselves. HandleMiss publishes the mapping
+    // *before* the disk read and returns with the frame latched exclusive,
+    // so concurrent fixers of the same page queue on the latch instead of
+    // racing their own (possibly stale) reads against ours.
     auto r = HandleMiss(page, /*read_from_disk=*/true);
     if (r.ok()) {
-      frames_[*r].latch.Acquire(mode);
+      if (mode == sync::LatchMode::kShared) frames_[*r].latch.Downgrade();
       return PageHandle(this, *r, page, mode);
     }
     if (!r.status().IsBusy()) return r.status();
@@ -138,12 +159,14 @@ Result<PageHandle> BufferPool::NewPage(PageNum page) {
       frames_[f].pins.fetch_add(1, std::memory_order_acquire);
     });
     if (frame >= 0) {
-      frames_[frame].latch.Acquire(sync::LatchMode::kExclusive);
-      return PageHandle(this, frame, page, sync::LatchMode::kExclusive);
+      if (AcquireVerified(frame, page, sync::LatchMode::kExclusive)) {
+        return PageHandle(this, frame, page, sync::LatchMode::kExclusive);
+      }
+      continue;
     }
     auto r = HandleMiss(page, /*read_from_disk=*/false);
     if (r.ok()) {
-      frames_[*r].latch.Acquire(sync::LatchMode::kExclusive);
+      // HandleMiss returns the frame already latched exclusive.
       return PageHandle(this, *r, page, sync::LatchMode::kExclusive);
     }
     if (!r.status().IsBusy()) return r.status();
@@ -151,13 +174,55 @@ Result<PageHandle> BufferPool::NewPage(PageNum page) {
   return Status::Busy("buffer pool thrashing: no evictable frames");
 }
 
+/// Installs `page` in a fresh frame and returns it pinned AND latched
+/// exclusive. The mapping is published *before* the page image is valid —
+/// the exclusive latch (held across the disk read) is what makes that
+/// safe: concurrent fixers find the mapping, pin, and queue on the latch
+/// until the image is ready. Publishing first closes the stale-read race:
+/// with read-then-publish, a page could be brought in, dirtied and be
+/// mid-write-back by other threads while this thread still held a
+/// pre-cycle image from the volume — installing it would lose those
+/// updates.
 Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
   SHOREMT_ASSIGN_OR_RETURN(int frame, AllocateFrame());
   Frame& f = frames_[frame];
+  // Publish: pin first so the frame is never observable evictable; take
+  // the latch before the mapping exists so no other thread can beat us to
+  // it.
+  f.pins.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.rec_lsn.store(0, std::memory_order_relaxed);
+  f.referenced.store(true, std::memory_order_relaxed);
+  f.latch.AcquireExclusive();
+  f.page.store(page, std::memory_order_release);
+  if (!table_->Insert(page, frame)) {
+    // Another thread brought the page in first; yield our copy. fetch_sub
+    // (not a store of 0) so a transient optimistic pin from a stale
+    // lookup can never be clobbered into an underflow.
+    f.page.store(kInvalidPageNum, std::memory_order_relaxed);
+    f.latch.ReleaseExclusive();
+    if (f.pins.fetch_sub(1, std::memory_order_release) == 1) {
+      free_frames_.Push(static_cast<uint32_t>(frame));
+    }
+    return Status::Busy("lost page-in race");
+  }
   if (read_from_disk) {
+    // Any in-flight write-back of this page (in-transit-out entries are
+    // registered before the eviction unmaps the page, so they are visible
+    // to whoever inserts the successor mapping) must land before the
+    // volume image is current.
+    in_transit_.WaitUntilClear(page);
     Status st = volume_->ReadPage(page, FrameData(frame));
     if (!st.ok()) {
-      free_frames_.Push(static_cast<uint32_t>(frame));
+      table_->EraseIf(page, [](int) { return true; });
+      f.page.store(kInvalidPageNum, std::memory_order_relaxed);
+      f.latch.ReleaseExclusive();
+      // A fixer may have pinned through the short-lived mapping; only
+      // reuse the frame if this was the sole pin (otherwise it is
+      // sacrificed — a corrupt-volume path not worth a use-after-free).
+      if (f.pins.fetch_sub(1, std::memory_order_release) == 1) {
+        free_frames_.Push(static_cast<uint32_t>(frame));
+      }
       return st;
     }
   } else {
@@ -167,19 +232,6 @@ Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
     // page-LSN idempotence checks must never be fooled by such garbage
     // into keeping uncommitted bytes.
     std::memset(FrameData(frame), 0, kPageSize);
-  }
-  // Publish: pin first so the frame is never observable evictable.
-  f.pins.store(1, std::memory_order_relaxed);
-  f.dirty.store(false, std::memory_order_relaxed);
-  f.rec_lsn.store(0, std::memory_order_relaxed);
-  f.referenced.store(true, std::memory_order_relaxed);
-  f.page.store(page, std::memory_order_release);
-  if (!table_->Insert(page, frame)) {
-    // Another thread brought the page in first; yield our copy.
-    f.page.store(kInvalidPageNum, std::memory_order_relaxed);
-    f.pins.store(0, std::memory_order_release);
-    free_frames_.Push(static_cast<uint32_t>(frame));
-    return Status::Busy("lost page-in race");
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   return frame;
@@ -204,21 +256,33 @@ Result<int> BufferPool::AllocateFrame() {
     // slow) eviction so other misses can search in parallel (§7.6).
     if (early_release) clock_lock_.unlock();
 
-    bool claimed = table_->EraseIf(victim, [&] {
-      return f.pins.load(std::memory_order_relaxed) == 0 &&
+    // Announce in-transit-out BEFORE claiming the mapping. A reader that
+    // misses because the claim just erased the mapping must observe this
+    // entry and wait for the write-back; announcing after the claim left
+    // a window where the reader re-read the page's stale volume image
+    // while the dirty copy was still in flight (lost updates). The frame
+    // cannot be checked for dirtiness yet — that is only stable once the
+    // claim has verified pins == 0 — so clean evictions transit too,
+    // briefly.
+    in_transit_.Add(victim);
+    bool claimed = table_->EraseIf(victim, [&](int mapped) {
+      // All three legs matter: the mapping must still target THIS frame
+      // (the page may have been evicted and re-read into another frame
+      // while we held a stale candidate — erasing would orphan the live
+      // copy), the frame must be unpinned, and it must still hold the
+      // victim.
+      return mapped == static_cast<int>(h) &&
+             f.pins.load(std::memory_order_relaxed) == 0 &&
              f.page.load(std::memory_order_relaxed) == victim;
     });
     if (claimed) {
       stats_.evictions.fetch_add(1, std::memory_order_relaxed);
       Status st = Status::Ok();
       if (f.dirty.load(std::memory_order_acquire)) {
-        // Dirty eviction: announce in-transit-out so a racing re-read of
-        // this page waits for the write to land.
-        in_transit_.Add(victim);
         st = WriteBack(static_cast<int>(h), victim);
-        in_transit_.Remove(victim);
         stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
       }
+      in_transit_.Remove(victim);
       if (!early_release) clock_lock_.unlock();
       if (!st.ok()) {
         // Write-back failed: the mapping is gone; surface the error and
@@ -232,6 +296,7 @@ Result<int> BufferPool::AllocateFrame() {
       f.rec_lsn.store(0, std::memory_order_relaxed);
       return static_cast<int>(h);
     }
+    in_transit_.Remove(victim);  // Claim lost: nothing is in transit.
     if (early_release) clock_lock_.lock();
   }
   clock_lock_.unlock();

@@ -160,6 +160,12 @@ class BufferPool {
   /// Pin bookkeeping shared by hit paths. Returns false if the frame no
   /// longer holds `page` (caller retries).
   bool TryOptimisticPin(PageNum page, int frame);
+
+  /// Latches a pinned frame in `mode`, then re-verifies it still holds
+  /// `page` (the loader invalidates a frame whose disk read failed). On
+  /// mismatch the latch and pin are released and false is returned — the
+  /// caller retries its lookup.
+  bool AcquireVerified(int frame, PageNum page, sync::LatchMode mode);
   /// Miss path: allocate a frame, read (or skip for new pages), publish.
   Result<int> HandleMiss(PageNum page, bool read_from_disk);
   /// Finds a victim frame via CLOCK; returns a frame claimed for reuse

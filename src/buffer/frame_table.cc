@@ -41,10 +41,11 @@ class GlobalChainedTable : public FrameTable {
     return map_.emplace(page, frame).second;
   }
 
-  bool EraseIf(PageNum page, const std::function<bool()>& check) override {
+  bool EraseIf(PageNum page,
+               const std::function<bool(int)>& check) override {
     std::lock_guard<std::mutex> guard(mutex_);
     auto it = map_.find(page);
-    if (it == map_.end() || !check()) return false;
+    if (it == map_.end() || !check(it->second)) return false;
     map_.erase(it);
     return true;
   }
@@ -96,12 +97,13 @@ class PerBucketChainedTable : public FrameTable {
     return true;
   }
 
-  bool EraseIf(PageNum page, const std::function<bool()>& check) override {
+  bool EraseIf(PageNum page,
+               const std::function<bool(int)>& check) override {
     Bucket& b = BucketFor(page);
     std::lock_guard<sync::TtasLock> guard(b.lock);
     for (size_t i = 0; i < b.entries.size(); ++i) {
       if (b.entries[i].page == page) {
-        if (!check()) return false;
+        if (!check(b.entries[i].frame)) return false;
         b.entries[i] = b.entries.back();
         b.entries.pop_back();
         return true;
@@ -223,7 +225,8 @@ class CuckooTable : public FrameTable {
     return true;
   }
 
-  bool EraseIf(PageNum page, const std::function<bool()>& check) override {
+  bool EraseIf(PageNum page,
+               const std::function<bool(int)>& check) override {
     for (;;) {
       uint64_t seq_before = reloc_seq_.load(std::memory_order_acquire);
       for (int w = 0; w < kWays; ++w) {
@@ -231,7 +234,7 @@ class CuckooTable : public FrameTable {
         std::lock_guard<sync::TtasLock> guard(LockFor(idx));
         Slot& s = slots_[idx];
         if (s.page.load(std::memory_order_relaxed) == page) {
-          if (!check()) return false;
+          if (!check(s.frame.load(std::memory_order_relaxed))) return false;
           s.page.store(kInvalidPageNum, std::memory_order_release);
           return true;
         }
@@ -240,7 +243,7 @@ class CuckooTable : public FrameTable {
         std::lock_guard<sync::TtasLock> guard(overflow_lock_);
         auto it = overflow_.find(page);
         if (it != overflow_.end()) {
-          if (!check()) return false;
+          if (!check(it->second)) return false;
           overflow_.erase(it);
           if (overflow_.empty()) {
             overflow_in_use_.store(false, std::memory_order_release);

@@ -43,10 +43,15 @@ class FrameTable {
   /// mapped.
   virtual bool Insert(PageNum page, int frame) = 0;
 
-  /// Removes the mapping if `check()` approves it (runs under the lock
-  /// covering the mapping; typically verifies pin count == 0). Returns
-  /// true if removed, false if absent or vetoed.
-  virtual bool EraseIf(PageNum page, const std::function<bool()>& check) = 0;
+  /// Removes the mapping if `check(frame)` approves it, where `frame` is
+  /// the index the mapping currently points to (the callback runs under
+  /// the lock covering the mapping; an evictor must verify the mapping
+  /// still targets *its* candidate frame and that the frame is unpinned —
+  /// validating a stale candidate while the page was remapped elsewhere
+  /// would erase the live copy's mapping). Returns true if removed, false
+  /// if absent or vetoed.
+  virtual bool EraseIf(PageNum page,
+                       const std::function<bool(int)>& check) = 0;
 
   /// Approximate number of mappings (diagnostics only).
   virtual size_t Size() const = 0;

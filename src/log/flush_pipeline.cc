@@ -1,0 +1,136 @@
+#include "log/flush_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "log/log_buffer.h"
+#include "log/log_manager.h"
+
+namespace shoremt::log {
+
+FlushPipeline::FlushPipeline(LogBuffer* buffer, LogStats* stats,
+                             uint64_t idle_flush_interval_us)
+    : buffer_(buffer),
+      stats_(stats),
+      idle_flush_interval_us_(idle_flush_interval_us),
+      daemon_([this] { DaemonLoop(); }) {}
+
+FlushPipeline::~FlushPipeline() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (daemon_.joinable()) daemon_.join();
+}
+
+bool FlushPipeline::IsDurable(Lsn upto) const {
+  return buffer_->durable_lsn() >= upto;
+}
+
+Status FlushPipeline::error() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return error_;
+}
+
+void FlushPipeline::Abandon() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  abandoned_ = true;
+}
+
+void FlushPipeline::Submit(Lsn upto) {
+  if (upto.IsNull() || IsDurable(upto)) return;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++pending_submits_;
+    requested_ = std::max(requested_, upto.value);
+  }
+  work_cv_.notify_one();
+}
+
+Status FlushPipeline::Wait(Lsn upto) {
+  if (upto.IsNull()) return Status::Ok();
+  if (IsDurable(upto)) {
+    stats_->waits_avoided.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (upto.value > requested_) {
+    // Nobody submitted this target yet (Wait without a prior Submit):
+    // register it ourselves so the daemon has a reason to run.
+    ++pending_submits_;
+    requested_ = upto.value;
+    work_cv_.notify_one();
+  }
+  stats_->flush_waits.fetch_add(1, std::memory_order_relaxed);
+  // Bounded wait, re-checking the predicate: the durable horizon can also
+  // advance through paths that do not notify this cv (a synchronous
+  // FlushTo on another thread, an appender's ring-full self-drain), and
+  // the daemon goes back to sleep without notifying when it wakes to find
+  // its work already done. NotifyDurableAdvanced() keeps the common case
+  // prompt; the timeout guarantees liveness against every missed-notify
+  // interleaving.
+  while (!IsDurable(upto) && error_.ok() && !daemon_exited_) {
+    durable_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+  if (IsDurable(upto)) return Status::Ok();
+  if (!error_.ok()) return error_;
+  return Status::Internal("flush pipeline stopped before LSN became durable");
+}
+
+bool FlushPipeline::HasWorkLocked() const {
+  return requested_ > buffer_->durable_lsn().value;
+}
+
+void FlushPipeline::DaemonLoop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (!stop_) {
+    if (idle_flush_interval_us_ > 0) {
+      work_cv_.wait_for(lk, std::chrono::microseconds(idle_flush_interval_us_),
+                        [&] { return stop_ || HasWorkLocked(); });
+    } else {
+      work_cv_.wait(lk, [&] { return stop_ || HasWorkLocked(); });
+    }
+    if (stop_) break;
+    if (!error_.ok()) {
+      // The device already failed once; durability promises are off. Park
+      // until shutdown instead of hammering a broken device.
+      work_cv_.wait(lk, [&] { return stop_; });
+      break;
+    }
+    uint64_t target = requested_;
+    if (idle_flush_interval_us_ > 0) {
+      // Periodic mode also drains unsubmitted appends (background flush).
+      target = std::max(target, buffer_->next_lsn().value);
+    }
+    if (buffer_->durable_lsn().value >= target) continue;
+    uint64_t batched = pending_submits_;
+    pending_submits_ = 0;
+    lk.unlock();
+    // One device flush covers every target submitted so far — the group
+    // commit: `batched` commit requests amortize this single call.
+    Status st = buffer_->FlushTo(Lsn{target});
+    lk.lock();
+    if (st.ok()) {
+      stats_->group_batches.fetch_add(1, std::memory_order_relaxed);
+      stats_->group_batch_txns.fetch_add(batched, std::memory_order_relaxed);
+    } else if (error_.ok()) {
+      error_ = st;  // A failed batch acknowledged nothing: only the error.
+    }
+    durable_cv_.notify_all();
+  }
+  // Final drain: a clean shutdown must not lose submitted commits. An
+  // abandoned pipeline (simulated crash) skips this on purpose.
+  if (!abandoned_ && error_.ok() &&
+      requested_ > buffer_->durable_lsn().value) {
+    uint64_t target = requested_;
+    lk.unlock();
+    Status st = buffer_->FlushTo(Lsn{target});
+    lk.lock();
+    if (!st.ok() && error_.ok()) error_ = st;
+  }
+  daemon_exited_ = true;
+  durable_cv_.notify_all();
+}
+
+}  // namespace shoremt::log

@@ -1,0 +1,89 @@
+#ifndef SHOREMT_LOG_FLUSH_PIPELINE_H_
+#define SHOREMT_LOG_FLUSH_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace shoremt::log {
+
+class LogBuffer;
+struct LogStats;
+
+/// The group-commit flush daemon behind asynchronous durability: commit
+/// paths *submit* a target LSN and return immediately; one daemon thread
+/// batches all outstanding targets into a single device flush and wakes
+/// every waiter whose LSN the advancing durable horizon has passed. This
+/// replaces the old sleep-polling flush daemon — the daemon sleeps on a
+/// condition variable and runs only when there is submitted work (plus an
+/// optional idle interval for background flushing of unsubmitted bytes).
+///
+/// Error handling: a failed device flush is recorded as a *sticky* error;
+/// every current and future Wait() reports it (durability can no longer be
+/// promised once the device misbehaved), and the daemon parks rather than
+/// grind a dead device. On destruction the pipeline drains every submitted
+/// target with a final flush before joining — unless Abandon() was called
+/// (crash simulation), in which case submitted-but-unflushed commits are
+/// deliberately lost, exactly like a power failure.
+class FlushPipeline {
+ public:
+  /// `idle_flush_interval_us` > 0 additionally wakes the daemon on that
+  /// period to flush *everything* appended so far (the old flush_daemon
+  /// behavior); 0 means purely submission-driven.
+  FlushPipeline(LogBuffer* buffer, LogStats* stats,
+                uint64_t idle_flush_interval_us);
+  ~FlushPipeline();  ///< Final drain of submitted targets, then join.
+
+  FlushPipeline(const FlushPipeline&) = delete;
+  FlushPipeline& operator=(const FlushPipeline&) = delete;
+
+  /// Registers `upto` as a durability target and wakes the daemon; returns
+  /// immediately. Null / already-durable targets are no-ops.
+  void Submit(Lsn upto);
+
+  /// Blocks until everything below `upto` is durable, the pipeline hits a
+  /// sticky error, or it shuts down. Submits `upto` itself if nobody has.
+  Status Wait(Lsn upto);
+
+  /// True once every byte below `upto` has reached the log device.
+  bool IsDurable(Lsn upto) const;
+
+  /// The sticky error (Ok while the pipeline is healthy).
+  Status error() const;
+
+  /// Wakes parked waiters to re-check the durable horizon. Called by the
+  /// synchronous flush paths (LogManager::FlushTo/FlushAll), which advance
+  /// durability without going through the daemon.
+  void NotifyDurableAdvanced() { durable_cv_.notify_all(); }
+
+  /// Crash simulation: the destructor skips the final drain flush, so
+  /// submitted-but-unflushed commit records are lost like on power-down.
+  void Abandon();
+
+ private:
+  void DaemonLoop();
+  bool HasWorkLocked() const;
+
+  LogBuffer* buffer_;
+  LogStats* stats_;
+  const uint64_t idle_flush_interval_us_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     ///< Daemon sleeps here.
+  std::condition_variable durable_cv_;  ///< Waiters sleep here.
+  uint64_t requested_ = 0;       ///< Highest submitted target LSN value.
+  uint64_t pending_submits_ = 0; ///< Submits not yet covered by a batch.
+  Status error_;                 ///< Sticky; set by the first failed flush.
+  bool stop_ = false;
+  bool abandoned_ = false;
+  bool daemon_exited_ = false;
+  std::thread daemon_;
+};
+
+}  // namespace shoremt::log
+
+#endif  // SHOREMT_LOG_FLUSH_PIPELINE_H_

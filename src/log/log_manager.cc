@@ -1,7 +1,9 @@
 #include "log/log_manager.h"
 
-#include <chrono>
+#include <algorithm>
 #include <cstring>
+
+#include "log/flush_pipeline.h"
 
 namespace shoremt::log {
 
@@ -10,21 +12,12 @@ LogManager::LogManager(LogStorage* storage, LogOptions options)
       options_(options),
       buffer_(MakeLogBuffer(options.buffer_kind, storage,
                             options.buffer_capacity)) {
-  if (options_.flush_daemon) {
-    daemon_ = std::thread([this] {
-      while (!stop_daemon_.load(std::memory_order_acquire)) {
-        (void)buffer_->FlushTo(buffer_->next_lsn());
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.flush_interval_us));
-      }
-    });
-  }
+  pipeline_ = std::make_unique<FlushPipeline>(
+      buffer_.get(), &stats_,
+      options_.flush_daemon ? options_.flush_interval_us : 0);
 }
 
-LogManager::~LogManager() {
-  stop_daemon_.store(true, std::memory_order_release);
-  if (daemon_.joinable()) daemon_.join();
-}
+LogManager::~LogManager() = default;
 
 Result<Appended> LogManager::Append(const LogRecord& rec) {
   thread_local std::vector<uint8_t> scratch;
@@ -46,21 +39,57 @@ Result<Appended> LogManager::AppendClr(const LogRecord& rec) {
 Status LogManager::FlushTo(Lsn upto) {
   if (buffer_->durable_lsn() >= upto) return Status::Ok();
   stats_.flush_waits.fetch_add(1, std::memory_order_relaxed);
-  return buffer_->FlushTo(upto);
+  Status st = buffer_->FlushTo(upto);
+  // This thread advanced durability behind the daemon's back: waiters
+  // parked in the pipeline may now be satisfied.
+  if (st.ok()) pipeline_->NotifyDurableAdvanced();
+  return st;
 }
 
-Status LogManager::FlushAll() { return buffer_->FlushTo(buffer_->next_lsn()); }
+Status LogManager::FlushAll() {
+  Status st = buffer_->FlushTo(buffer_->next_lsn());
+  if (st.ok()) pipeline_->NotifyDurableAdvanced();
+  return st;
+}
+
+void LogManager::SubmitFlush(Lsn upto) { pipeline_->Submit(upto); }
+
+Status LogManager::WaitDurable(Lsn upto) { return pipeline_->Wait(upto); }
+
+bool LogManager::IsDurable(Lsn upto) const {
+  return buffer_->durable_lsn() >= upto;
+}
+
+Status LogManager::pipeline_error() const { return pipeline_->error(); }
+
+void LogManager::Abandon() { pipeline_->Abandon(); }
 
 Result<LogRecord> LogManager::ReadRecord(Lsn lsn) const {
   if (lsn.IsNull()) return Status::InvalidArgument("null LSN");
   uint64_t offset = lsn.value - 1;
-  // Read the length prefix, then the full record.
-  std::vector<uint8_t> len_bytes;
-  SHOREMT_RETURN_NOT_OK(storage_->Read(offset, 4, &len_bytes));
-  uint32_t total_len;
-  std::memcpy(&total_len, len_bytes.data(), 4);
+  uint64_t durable = storage_->size();
+  if (offset + 4 > durable) {
+    return Status::Corruption("log read beyond durable end");
+  }
+  // One storage read covers the whole record in the common case; the
+  // length prefix is validated against the record format and the durable
+  // size before it is trusted, so a torn or garbage prefix surfaces as
+  // Corruption instead of a bogus (or gigantic) read.
+  constexpr size_t kReadAhead = 4096;
   std::vector<uint8_t> bytes;
-  SHOREMT_RETURN_NOT_OK(storage_->Read(offset, total_len, &bytes));
+  SHOREMT_RETURN_NOT_OK(storage_->Read(
+      offset, static_cast<size_t>(std::min<uint64_t>(durable - offset,
+                                                     kReadAhead)),
+      &bytes));
+  uint32_t total_len;
+  std::memcpy(&total_len, bytes.data(), 4);
+  if (total_len < kLogRecordHeaderSize || offset + total_len > durable) {
+    return Status::Corruption("bad log record length prefix");
+  }
+  if (total_len > bytes.size()) {
+    // Rare oversized record: one more exact read.
+    SHOREMT_RETURN_NOT_OK(storage_->Read(offset, total_len, &bytes));
+  }
   LogRecord rec;
   size_t consumed;
   SHOREMT_RETURN_NOT_OK(DeserializeLogRecord(bytes, &rec, &consumed));

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <thread>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -15,12 +14,16 @@
 
 namespace shoremt::log {
 
+class FlushPipeline;
+
 /// Log manager configuration; defaults = Shore-MT "final".
 struct LogOptions {
   LogBufferKind buffer_kind = LogBufferKind::kConsolidated;
   size_t buffer_capacity = 1 << 22;  // 4 MiB ring.
-  /// Background flush daemon (group commit helper). Off by default: tests
-  /// drive flushes explicitly; the storage manager turns it on.
+  /// Periodic background flushing of *everything* appended so far, on top
+  /// of the always-on submission-driven group-commit pipeline. Off by
+  /// default: tests that rely on an unflushed tail being lost on crash
+  /// drive durability explicitly through Submit/Wait/FlushTo.
   bool flush_daemon = false;
   uint64_t flush_interval_us = 1000;
 };
@@ -30,18 +33,30 @@ struct LogStats {
   std::atomic<uint64_t> records{0};
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> compensations{0};
+  /// Durability requests that had to block (synchronous FlushTo calls that
+  /// found their target not yet durable, plus pipeline Waits that parked).
   std::atomic<uint64_t> flush_waits{0};
+  /// Pipeline Waits that found their LSN already durable — the flush
+  /// waits group commit made unnecessary.
+  std::atomic<uint64_t> waits_avoided{0};
+  /// Device flushes issued by the group-commit daemon (batches).
+  std::atomic<uint64_t> group_batches{0};
+  /// Commit requests amortized into those batches; group_batch_txns /
+  /// group_batches = transactions per flush.
+  std::atomic<uint64_t> group_batch_txns{0};
 };
 
 /// The log manager (§2.2.4): serializes WAL records into the staging
 /// buffer, enforces durability on commit, and replays the durable stream
-/// for recovery. The buffer implementation is the §7.4 staging knob.
+/// for recovery. The buffer implementation is the §7.4 staging knob; the
+/// always-on FlushPipeline is the group-commit seam the asynchronous
+/// commit path (txn::TxnManager::CommitAsync) rides.
 class LogManager {
  public:
   /// `storage` must outlive the manager (it is the durable artifact that
   /// survives simulated crashes/restarts).
   LogManager(LogStorage* storage, LogOptions options);
-  ~LogManager();
+  ~LogManager();  ///< Drains submitted flush targets unless Abandon()ed.
 
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
@@ -51,15 +66,37 @@ class LogManager {
   /// Appends a compensation (CLR) record.
   Result<Appended> AppendClr(const LogRecord& rec);
 
-  /// Makes everything below `upto` durable (commit / WAL barrier).
+  /// Makes everything below `upto` durable (commit / WAL barrier). This is
+  /// the synchronous path: the caller's thread may perform the device
+  /// flush itself.
   Status FlushTo(Lsn upto);
   /// Flushes everything appended so far.
   Status FlushAll();
+
+  // --- asynchronous durability (group-commit pipeline) ---------------------
+
+  /// Registers `upto` with the flush daemon and returns immediately; one
+  /// daemon flush covers every target submitted before it runs.
+  void SubmitFlush(Lsn upto);
+  /// Blocks until everything below `upto` is durable or the pipeline
+  /// carries a sticky error.
+  Status WaitDurable(Lsn upto);
+  /// True once every byte below `upto` has reached the log device.
+  bool IsDurable(Lsn upto) const;
+  /// The pipeline's sticky flush error (Ok while healthy). A failed
+  /// device flush poisons the pipeline: durability can no longer be
+  /// acknowledged, and every Wait reports this status.
+  Status pipeline_error() const;
+  /// Crash simulation: the destructor skips the final drain flush, losing
+  /// submitted-but-unflushed commit records like a power failure would.
+  void Abandon();
 
   Lsn durable_lsn() const { return buffer_->durable_lsn(); }
   Lsn next_lsn() const { return buffer_->next_lsn(); }
 
   /// Reads the record starting at `lsn` from the durable log (undo path).
+  /// A torn or garbage length prefix yields Corruption, never a bogus
+  /// read.
   Result<LogRecord> ReadRecord(Lsn lsn) const;
 
   /// Iterates every durable record in LSN order; the callback receives
@@ -70,14 +107,14 @@ class LogManager {
 
   const LogStats& stats() const { return stats_; }
   LogStorage* storage() { return storage_; }
+  FlushPipeline* pipeline() { return pipeline_.get(); }
 
  private:
   LogStorage* storage_;
   LogOptions options_;
   std::unique_ptr<LogBuffer> buffer_;
   LogStats stats_;
-  std::atomic<bool> stop_daemon_{false};
-  std::thread daemon_;
+  std::unique_ptr<FlushPipeline> pipeline_;
 };
 
 }  // namespace shoremt::log

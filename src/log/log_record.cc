@@ -7,11 +7,9 @@ namespace shoremt::log {
 namespace {
 
 // Fixed header layout (little-endian / host order; the log is not a
-// portable artifact, matching the original system).
-//   u32 total_len | u8 type | u8 page_type | u16 slot
-//   u64 txn | u64 prev_lsn | u64 undo_next | u64 page
-//   u32 store | u32 before_len | u32 after_len
-constexpr size_t kHeaderSize = 4 + 1 + 1 + 2 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+// portable artifact, matching the original system). Layout documented at
+// kLogRecordHeaderSize in the header.
+constexpr size_t kHeaderSize = kLogRecordHeaderSize;
 
 template <typename T>
 void Put(std::vector<uint8_t>* out, T value) {

@@ -33,6 +33,15 @@ enum class LogRecordType : uint8_t {
   kCatalog,          ///< after = serialized catalog entry (table created).
 };
 
+/// Size of the fixed serialized header:
+///   u32 total_len | u8 type | u8 page_type | u16 slot
+///   u64 txn | u64 prev_lsn | u64 undo_next | u64 page
+///   u32 store | u32 before_len | u32 after_len
+/// No valid record is smaller, which makes it the lower bound readers use
+/// to validate a length prefix before trusting it.
+inline constexpr size_t kLogRecordHeaderSize =
+    4 + 1 + 1 + 2 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+
 /// In-memory form of a WAL record.
 struct LogRecord {
   LogRecordType type = LogRecordType::kNoop;

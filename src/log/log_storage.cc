@@ -8,6 +8,9 @@
 namespace shoremt::log {
 
 Status LogStorage::Append(std::span<const uint8_t> data) {
+  if (fail_appends_.load(std::memory_order_acquire)) {
+    return Status::IOError("log device failure (injected)");
+  }
   flush_calls_.fetch_add(1, std::memory_order_relaxed);
   if (append_latency_ns_ > 0) {
     if (append_latency_ns_ < 50'000) {

@@ -45,12 +45,20 @@ class LogStorage {
     return flush_calls_.load(std::memory_order_relaxed);
   }
 
+  /// Test hook: while set, Append fails with IOError without storing
+  /// anything — simulates a dying log device so callers can exercise the
+  /// flush pipeline's sticky-error propagation.
+  void set_fail_appends(bool fail) {
+    fail_appends_.store(fail, std::memory_order_release);
+  }
+
  private:
   uint64_t append_latency_ns_;
   mutable std::mutex mutex_;
   std::vector<uint8_t> bytes_;
   std::atomic<uint64_t> size_{0};
   std::atomic<uint64_t> flush_calls_{0};
+  std::atomic<bool> fail_appends_{false};
 };
 
 }  // namespace shoremt::log

@@ -17,6 +17,7 @@ Session::Session(StorageManager* sm, uint64_t seed) : sm_(sm), rng_(seed) {}
 
 Session::~Session() {
   if (txn_ != nullptr) (void)Abort();
+  (void)WaitAll();  // Outstanding async commits acknowledge before close.
   Harvest();
 }
 
@@ -41,26 +42,69 @@ Status Session::Begin() {
   return Status::Ok();
 }
 
-Status Session::Commit() {
+Result<txn::CommitToken> Session::SubmitCommit() {
   SHOREMT_RETURN_NOT_OK(RequireTxn());
-  // Commit destroys the Transaction object, so its final counters come
-  // back through the out-param (they include the commit record itself).
-  txn::TxnManager::TxnCounters counters;
-  Status st = sm_->txns_->Commit(txn_, &counters);
-  if (st.ok()) {
-    txn_ = nullptr;
-    stats_.lock_waits += counters.lock_waits;
-    stats_.log_bytes += counters.log_bytes;
-    ++stats_.commits;
-    return st;
+  Result<txn::CommitToken> token = sm_->txns_->CommitAsync(txn_);
+  if (!token.ok()) {
+    // Failed commit (log append error): the transaction is still active
+    // and holds every lock — roll it back rather than strand them.
+    (void)Abort();
+    return token;
   }
-  // Failed commit (log append/flush error): the transaction is still
-  // active and holds every lock — roll it back rather than strand them.
-  // If the commit record was appended before the flush failed, the WAL
-  // may end up carrying both outcomes; the CLRs + abort record win at
-  // recovery, matching the failure this caller observes.
-  (void)Abort();
+  // The transaction is committed (and destroyed): from here on only the
+  // durability acknowledgment is outstanding.
+  txn_ = nullptr;
+  stats_.lock_waits += token->counters.lock_waits;
+  stats_.log_bytes += token->counters.log_bytes;
+  ++stats_.commits;
+  if (!token->durable && token->lsn > pending_ack_lsn_) {
+    pending_ack_lsn_ = token->lsn;
+  }
+  return token;
+}
+
+Status Session::Commit() {
+  SHOREMT_ASSIGN_OR_RETURN(txn::CommitToken token, SubmitCommit());
+  // Blocking ack: ride the group-commit pipeline until the daemon's flush
+  // passes the commit LSN. If the wait itself fails (log device error),
+  // the transaction is already committed-but-unacknowledged — there is
+  // nothing to abort; the error reports that durability is unknown.
+  return Wait(&token);
+}
+
+Result<txn::CommitToken> Session::CommitAsync() {
+  Result<txn::CommitToken> token = SubmitCommit();
+  if (token.ok()) ++stats_.async_commits;
+  return token;
+}
+
+Status Session::Wait(txn::CommitToken* token) {
+  if (token == nullptr) return Status::InvalidArgument("null commit token");
+  bool avoided = token->durable || token->lsn.IsNull() ||
+                 sm_->log()->IsDurable(token->lsn);
+  if (avoided) {
+    ++stats_.commit_waits_avoided;
+  } else {
+    ++stats_.commit_waits;
+  }
+  Status st = sm_->txns_->Wait(token);
+  // Durability is a log prefix: acknowledging the highest pending LSN
+  // acknowledges everything this session had outstanding.
+  if (st.ok() && token->lsn >= pending_ack_lsn_) pending_ack_lsn_ = Lsn{};
   return st;
+}
+
+Status Session::WaitAll() {
+  if (pending_ack_lsn_.IsNull()) return Status::Ok();
+  Lsn target = pending_ack_lsn_;
+  if (sm_->log()->IsDurable(target)) {
+    ++stats_.commit_waits_avoided;
+  } else {
+    ++stats_.commit_waits;
+  }
+  SHOREMT_RETURN_NOT_OK(sm_->log()->WaitDurable(target));
+  pending_ack_lsn_ = Lsn{};
+  return Status::Ok();
 }
 
 Status Session::Abort() {
@@ -127,9 +171,8 @@ Cursor Session::OpenCursor(const TableInfo& table) {
   return Cursor(this, table, sm_->index_of(table));
 }
 
-Status Session::Apply(const TableInfo& table, std::span<const Op> ops) {
-  bool own_txn = (txn_ == nullptr);
-  if (own_txn) SHOREMT_RETURN_NOT_OK(Begin());
+Status Session::ApplyOps(const TableInfo& table, std::span<const Op> ops,
+                         bool own_txn) {
   ++stats_.batches;
   for (const Op& op : ops) {
     Status st;
@@ -152,10 +195,29 @@ Status Session::Apply(const TableInfo& table, std::span<const Op> ops) {
     }
     ++stats_.batch_ops;
   }
-  // One commit — and therefore one log flush — covers the whole batch's
-  // appends (the group-commit seam this entry point exists for).
+  return Status::Ok();
+}
+
+Status Session::Apply(const TableInfo& table, std::span<const Op> ops) {
+  bool own_txn = (txn_ == nullptr);
+  if (own_txn) SHOREMT_RETURN_NOT_OK(Begin());
+  SHOREMT_RETURN_NOT_OK(ApplyOps(table, ops, own_txn));
+  // One commit covers the whole batch's appends, and its flush rides the
+  // group-commit pipeline — shared with every concurrently committing
+  // session (the group-commit seam this entry point exists for).
   if (own_txn) return Commit();
   return Status::Ok();
+}
+
+Result<txn::CommitToken> Session::ApplyAsync(const TableInfo& table,
+                                             std::span<const Op> ops) {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument(
+        "ApplyAsync runs its own transaction; commit or abort the open one");
+  }
+  SHOREMT_RETURN_NOT_OK(Begin());
+  SHOREMT_RETURN_NOT_OK(ApplyOps(table, ops, /*own_txn=*/true));
+  return CommitAsync();
 }
 
 // ----------------------------------------------------------------- Cursor --

@@ -79,7 +79,9 @@ class Cursor {
 /// A session is NOT thread-safe and carries at most one open transaction.
 class Session {
  public:
-  ~Session();  ///< Aborts any open transaction, then harvests.
+  /// Aborts any open transaction, waits for outstanding commit
+  /// acknowledgments (WaitAll), then harvests.
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -88,8 +90,24 @@ class Session {
 
   /// Starts a transaction; InvalidArgument if one is already open.
   Status Begin();
-  /// Commits the open transaction (forces the log if it wrote anything).
+  /// Commits the open transaction and blocks until it is durable — a thin
+  /// CommitAsync + Wait composition riding the group-commit pipeline
+  /// (several sessions committing concurrently share one device flush).
   Status Commit();
+  /// Commits the open transaction asynchronously: the commit record is
+  /// appended and every lock is released immediately (early lock release);
+  /// durability is acknowledged later through Wait(&token) or WaitAll().
+  /// After a crash, a committed-but-unacknowledged transaction may be
+  /// lost — but never half-applied, and never out of commit-LSN order.
+  /// On failure the transaction has been rolled back (like Commit).
+  Result<txn::CommitToken> CommitAsync();
+  /// Blocks until `token`'s commit is durable; returns the pipeline's
+  /// sticky error if the log device failed.
+  Status Wait(txn::CommitToken* token);
+  /// Blocks until every CommitAsync this session has issued is durable
+  /// (one wait on the highest pending commit LSN — durability is a log
+  /// prefix, so it covers all of them).
+  Status WaitAll();
   /// Aborts the open transaction, rolling back through the WAL chain.
   Status Abort();
   bool InTransaction() const { return txn_ != nullptr; }
@@ -124,12 +142,20 @@ class Session {
   // --- batched execution --------------------------------------------------
 
   /// Applies `ops` in order as one atomic batch. With no transaction open,
-  /// the batch runs in its own transaction: every log append in the batch
-  /// shares a single commit-time flush (the group-commit seam), and any
-  /// failure aborts the whole batch — nothing persists. Inside an open
-  /// transaction the ops simply join it; a failure then leaves the
-  /// transaction poisoned and the caller must Abort().
+  /// the batch runs in its own transaction whose commit rides the
+  /// group-commit pipeline (one flush acknowledges the batch, shared with
+  /// every concurrent committer), and any failure aborts the whole batch —
+  /// nothing persists. Inside an open transaction the ops simply join it;
+  /// a failure then leaves the transaction poisoned and the caller must
+  /// Abort().
   Status Apply(const TableInfo& table, std::span<const Op> ops);
+
+  /// Apply with asynchronous durability: requires no open transaction,
+  /// runs `ops` as one atomic batch and commits via CommitAsync. Returns
+  /// once the batch's commit record is in the log buffer; acknowledge with
+  /// Wait(&token) / WaitAll().
+  Result<txn::CommitToken> ApplyAsync(const TableInfo& table,
+                                      std::span<const Op> ops);
 
   // --- per-session state --------------------------------------------------
 
@@ -152,11 +178,24 @@ class Session {
   /// Guard used by every DML entry point.
   Status RequireTxn() const;
 
+  /// Shared tail of Commit/CommitAsync: submits the commit record, rolls
+  /// back on append failure, books the token into the session's pending
+  /// set and its statistics.
+  Result<txn::CommitToken> SubmitCommit();
+
+  /// Shared body of Apply/ApplyAsync: runs `ops` under the open
+  /// transaction, aborting it on failure when this session owns it.
+  Status ApplyOps(const TableInfo& table, std::span<const Op> ops,
+                  bool own_txn);
+
   StorageManager* sm_;
   txn::Transaction* txn_ = nullptr;
   Rng rng_;
   std::vector<uint8_t> read_buf_;
   SessionStats stats_;
+  /// Highest commit LSN this session has submitted but not yet seen
+  /// acknowledged (WaitAll target); null when nothing is outstanding.
+  Lsn pending_ack_lsn_;
 };
 
 }  // namespace shoremt::sm

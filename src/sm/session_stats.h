@@ -29,6 +29,14 @@ struct SessionStats {
   uint64_t lock_waits = 0;  ///< Lock requests that had to park.
   uint64_t log_bytes = 0;   ///< WAL bytes appended by this session's txns.
 
+  // Group-commit pipeline counters (commits counts these too; a commit is
+  // either acknowledged inline or asynchronously).
+  uint64_t async_commits = 0;  ///< Commits submitted via CommitAsync.
+  uint64_t commit_waits = 0;   ///< Durability waits that had to block.
+  /// Durability checks that found the group flush already past the commit
+  /// LSN — the per-transaction flush waits the pipeline eliminated.
+  uint64_t commit_waits_avoided = 0;
+
   /// Total row operations (the "ops" a workload reports).
   uint64_t ops() const {
     return inserts + reads + updates + deletes + cursor_rows;
@@ -47,6 +55,9 @@ struct SessionStats {
     batch_ops += o.batch_ops;
     lock_waits += o.lock_waits;
     log_bytes += o.log_bytes;
+    async_commits += o.async_commits;
+    commit_waits += o.commit_waits;
+    commit_waits_avoided += o.commit_waits_avoided;
   }
 };
 
@@ -68,6 +79,10 @@ class SessionStatsAggregate {
     batch_ops_.fetch_add(s.batch_ops, std::memory_order_relaxed);
     lock_waits_.fetch_add(s.lock_waits, std::memory_order_relaxed);
     log_bytes_.fetch_add(s.log_bytes, std::memory_order_relaxed);
+    async_commits_.fetch_add(s.async_commits, std::memory_order_relaxed);
+    commit_waits_.fetch_add(s.commit_waits, std::memory_order_relaxed);
+    commit_waits_avoided_.fetch_add(s.commit_waits_avoided,
+                                    std::memory_order_relaxed);
   }
 
   SessionStats Snapshot() const {
@@ -84,6 +99,10 @@ class SessionStatsAggregate {
     s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
     s.lock_waits = lock_waits_.load(std::memory_order_relaxed);
     s.log_bytes = log_bytes_.load(std::memory_order_relaxed);
+    s.async_commits = async_commits_.load(std::memory_order_relaxed);
+    s.commit_waits = commit_waits_.load(std::memory_order_relaxed);
+    s.commit_waits_avoided =
+        commit_waits_avoided_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -100,6 +119,9 @@ class SessionStatsAggregate {
   std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> lock_waits_{0};
   std::atomic<uint64_t> log_bytes_{0};
+  std::atomic<uint64_t> async_commits_{0};
+  std::atomic<uint64_t> commit_waits_{0};
+  std::atomic<uint64_t> commit_waits_avoided_{0};
 };
 
 }  // namespace shoremt::sm

@@ -138,9 +138,14 @@ class StorageManager {
   /// Flushes everything (clean shutdown).
   Status Shutdown();
   /// Marks the manager as crashed: the destructor skips the shutdown
-  /// flush, so only WAL-durable state survives into the next Open —
-  /// the hook recovery tests use to simulate power loss.
-  void SimulateCrash() { crashed_ = true; }
+  /// flush and the log pipeline abandons its final drain, so only
+  /// WAL-durable state survives into the next Open — the hook recovery
+  /// tests use to simulate power loss. Commits submitted through
+  /// CommitAsync but not yet acknowledged are deliberately lost.
+  void SimulateCrash() {
+    crashed_ = true;
+    log_->Abandon();
+  }
 
   // --- component access (benches, tests, calibration) ----------------------
 

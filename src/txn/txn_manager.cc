@@ -46,10 +46,12 @@ void TxnManager::ReleaseAllLocks(Transaction* txn) {
   txn->held_set.clear();
 }
 
-Status TxnManager::Commit(Transaction* txn, TxnCounters* counters_out) {
+Result<CommitToken> TxnManager::CommitAsync(Transaction* txn) {
   if (txn->state != TxnState::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
+  CommitToken token;
+  token.txn = txn->id;
   if (!txn->last_lsn.IsNull()) {
     log::LogRecord rec;
     rec.type = log::LogRecordType::kCommit;
@@ -57,17 +59,54 @@ Status TxnManager::Commit(Transaction* txn, TxnCounters* counters_out) {
     rec.prev_lsn = txn->last_lsn;
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
     txn->log_bytes += a.end.value - a.lsn.value;
-    // Durability point: the commit record must reach the log device.
-    SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
+    token.lsn = a.end;
+  } else if (!txn->held_locks.empty()) {
+    // Read-only but it observed locked state: with early lock release a
+    // predecessor's writes can be committed-but-unflushed when this
+    // transaction reads them, so its acknowledgment must not outrun the
+    // predecessor's. Every such predecessor's commit record is already in
+    // the buffer (it preceded our lock grant), hence below the current
+    // append horizon — waiting on that horizon restores the dependency
+    // order. A lock-free transaction observed nothing and stays instant.
+    token.lsn = log_->next_lsn();
   }
-  if (counters_out != nullptr) {
-    *counters_out = TxnCounters{txn->log_bytes, txn->lock_waits};
-  }
+  token.counters = TxnCounters{txn->log_bytes, txn->lock_waits};
+  // The commit point is the in-memory commit-record append above. Early
+  // lock release: successors may touch this transaction's rows right now,
+  // before the flush — their commit records land at higher LSNs, so the
+  // durable prefix can never acknowledge a dependent first.
   txn->state = TxnState::kCommitted;
   ReleaseAllLocks(txn);
   Retire(txn);
   stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  if (token.lsn.IsNull()) {
+    token.durable = true;  // Read-only: nothing to make durable.
+  } else {
+    log_->SubmitFlush(token.lsn);
+    token.durable = log_->IsDurable(token.lsn);
+  }
+  return token;
+}
+
+Status TxnManager::Wait(CommitToken* token) {
+  if (token->lsn.IsNull()) {
+    token->durable = true;
+    return Status::Ok();
+  }
+  // Even an already-durable token goes through the pipeline so the
+  // avoided-wait shows up in LogStats (the group-commit win being
+  // measured).
+  SHOREMT_RETURN_NOT_OK(log_->WaitDurable(token->lsn));
+  token->durable = true;
   return Status::Ok();
+}
+
+Status TxnManager::Commit(Transaction* txn, TxnCounters* counters_out) {
+  SHOREMT_ASSIGN_OR_RETURN(CommitToken token, CommitAsync(txn));
+  if (counters_out != nullptr) *counters_out = token.counters;
+  // Durability point for the blocking API: ride the group-commit pipeline
+  // until the daemon's flush passes the commit LSN.
+  return Wait(&token);
 }
 
 Status TxnManager::Abort(Transaction* txn, TxnCounters* counters_out) {

@@ -35,6 +35,39 @@ struct TxnStats {
   std::atomic<uint64_t> oldest_scans{0};
 };
 
+/// A transaction's final private counters, reported to the caller at
+/// Commit/Abort because the Transaction object is destroyed there —
+/// includes the commit/abort records and any rollback CLRs.
+struct TxnCounters {
+  uint64_t log_bytes = 0;
+  uint64_t lock_waits = 0;
+};
+
+/// Handle to an asynchronously committed transaction, returned by
+/// TxnManager::CommitAsync once the commit record sits in the log buffer
+/// and every lock has been released (early lock release). The transaction
+/// is *committed* but not yet *durable*: acknowledgment arrives when the
+/// flush pipeline's durable LSN passes `lsn` (TxnManager::Wait /
+/// Session::Wait / Session::WaitAll).
+///
+/// Early lock release is safe because any transaction that observes this
+/// one's writes must lock them after the locks dropped, so its own commit
+/// record necessarily lands at a higher LSN — the log device makes
+/// prefixes durable, so a dependent can never be acknowledged before its
+/// predecessor.
+struct CommitToken {
+  /// Flush target: the commit record's end LSN. Null for a read-only
+  /// transaction (nothing to wait on).
+  Lsn lsn;
+  TxnId txn = kInvalidTxnId;
+  /// Final counters, available immediately (the Transaction is gone).
+  TxnCounters counters;
+  /// Completion state: set once durability has been confirmed (true from
+  /// the start for read-only transactions or if the group flush already
+  /// passed `lsn`).
+  bool durable = false;
+};
+
 /// Coordinates transaction lifecycle (§2.2.5): begin/commit/abort, strict
 /// two-phase locking via the lock manager, rollback through the WAL undo
 /// chain, and checkpoint generation.
@@ -55,18 +88,29 @@ class TxnManager {
   /// Starts a transaction; the pointer stays valid until Commit/Abort.
   Transaction* Begin();
 
-  /// A transaction's final private counters, reported to the caller at
-  /// Commit/Abort because the Transaction object is destroyed there —
-  /// includes the commit/abort records and any rollback CLRs.
-  struct TxnCounters {
-    uint64_t log_bytes = 0;
-    uint64_t lock_waits = 0;
-  };
+  /// Compatibility alias: TxnCounters moved to namespace scope so
+  /// CommitToken can carry one; old spelling keeps working.
+  using TxnCounters = txn::TxnCounters;
 
-  /// Commits: forces the log (if the txn wrote anything), then releases
-  /// locks. The Transaction object is destroyed; on success its final
-  /// counters are written to `counters_out` (if non-null).
+  /// Commits synchronously: a thin CommitAsync + Wait composition. The
+  /// Transaction object is destroyed; on success its final counters are
+  /// written to `counters_out` (if non-null). Note the failure split: an
+  /// error *before* the token is issued (commit-record append failed)
+  /// leaves the transaction active and the caller must Abort; an error
+  /// from the durability wait arrives after the transaction is gone and
+  /// only means the acknowledgment could not be given.
   Status Commit(Transaction* txn, TxnCounters* counters_out = nullptr);
+
+  /// Commits asynchronously: appends the commit record, releases every
+  /// lock immediately (early lock release — see CommitToken), retires the
+  /// transaction, and submits the commit LSN to the log's group-commit
+  /// pipeline without waiting for the flush. The Transaction object is
+  /// destroyed on success; on failure it stays active (caller aborts).
+  Result<CommitToken> CommitAsync(Transaction* txn);
+
+  /// Blocks until `token`'s commit is durable (or the flush pipeline
+  /// carries a sticky error); marks the token durable on success.
+  Status Wait(CommitToken* token);
 
   /// Aborts: undoes the txn's updates via the WAL chain (logging CLRs),
   /// then releases locks and destroys the object, reporting final

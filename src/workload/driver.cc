@@ -7,7 +7,8 @@
 namespace shoremt::workload {
 
 DriverResult RunDriver(int threads, uint64_t warmup_ms, uint64_t duration_ms,
-                       const std::function<bool(int, Rng&)>& txn_fn) {
+                       const std::function<bool(int, Rng&)>& txn_fn,
+                       const std::function<void(int)>& drain_fn) {
   std::atomic<int> phase{0};  // 0 = warmup, 1 = measuring, 2 = stop.
   std::vector<uint64_t> txns(threads, 0);
   std::vector<uint64_t> aborts(threads, 0);
@@ -30,6 +31,7 @@ DriverResult RunDriver(int threads, uint64_t warmup_ms, uint64_t duration_ms,
           }
         }
       }
+      if (drain_fn) drain_fn(t);
     });
   }
 

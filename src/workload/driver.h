@@ -27,8 +27,15 @@ struct DriverResult {
 /// not throughput). This is the measurement loop used by the real-engine
 /// benchmarks (the paper's client drivers linked directly against the
 /// engine).
+///
+/// `drain_fn(thread_id)`, when provided, runs once per worker after its
+/// measurement loop exits and before the driver returns — the hook
+/// asynchronous-commit workloads use to acknowledge outstanding commits
+/// (Session::WaitAll), so every transaction counted as committed is
+/// durable by the time the result is read.
 DriverResult RunDriver(int threads, uint64_t warmup_ms, uint64_t duration_ms,
-                       const std::function<bool(int, Rng&)>& txn_fn);
+                       const std::function<bool(int, Rng&)>& txn_fn,
+                       const std::function<void(int)>& drain_fn = {});
 
 }  // namespace shoremt::workload
 

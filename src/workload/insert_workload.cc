@@ -45,13 +45,20 @@ DriverResult RunInsertBench(const InsertBenchConfig& config,
           batch.payloads[i][0] = static_cast<uint8_t>(key + i);
           batch.ops[i].key = key + i;
         }
-        // One atomic batch == one commit == one log flush.
-        if (!session->Apply(state->tables[client], batch.ops).ok()) {
+        // One atomic batch == one commit. Sync mode waits for the group
+        // flush before the next batch; async mode only submits, letting
+        // one daemon flush acknowledge many batches (drained below).
+        if (config.async_commit) {
+          if (!session->ApplyAsync(state->tables[client], batch.ops).ok()) {
+            return false;
+          }
+        } else if (!session->Apply(state->tables[client], batch.ops).ok()) {
           return false;
         }
         key += config.records_per_commit;
         return true;
-      });
+      },
+      [&](int client) { (void)state->sessions[client]->WaitAll(); });
 }
 
 }  // namespace shoremt::workload

@@ -22,6 +22,9 @@ struct InsertBenchConfig {
   size_t record_bytes = 100;
   uint64_t warmup_ms = 100;
   uint64_t duration_ms = 500;
+  /// Commit through Session::ApplyAsync (group-commit pipeline, durability
+  /// acknowledged via WaitAll at drain) instead of the blocking Apply.
+  bool async_commit = false;
 };
 
 /// One client's state: its session, private table and key counter. Each

@@ -15,6 +15,13 @@ std::span<const uint8_t> AsBytes(const T& row) {
 
 std::atomic<uint64_t> g_history_seq{1};
 
+/// Transaction epilogue: blocking commit or async submission (early lock
+/// release; the terminal acknowledges durability later via WaitAll).
+bool Finish(sm::Session* session, CommitMode mode) {
+  if (mode == CommitMode::kAsync) return session->CommitAsync().ok();
+  return session->Commit().ok();
+}
+
 }  // namespace
 
 Result<TpccDatabase> LoadTpcc(sm::Session* session, const TpccConfig& cfg) {
@@ -83,7 +90,8 @@ Result<TpccDatabase> LoadTpcc(sm::Session* session, const TpccConfig& cfg) {
   return db;
 }
 
-bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w) {
+bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w,
+                CommitMode mode) {
   const TpccConfig& cfg = db->config;
   Rng& rng = session->rng();
   uint32_t d = 1 + static_cast<uint32_t>(rng.Uniform(
@@ -130,10 +138,11 @@ bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w) {
            .ok()) {
     return fail();
   }
-  return session->Commit().ok();
+  return Finish(session, mode);
 }
 
-bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w) {
+bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w,
+                 CommitMode mode) {
   const TpccConfig& cfg = db->config;
   Rng& rng = session->rng();
   uint32_t d = 1 + static_cast<uint32_t>(rng.Uniform(
@@ -202,7 +211,7 @@ bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w) {
       return fail();
     }
   }
-  return session->Commit().ok();
+  return Finish(session, mode);
 }
 
 }  // namespace shoremt::workload

@@ -129,16 +129,24 @@ struct TpccDatabase {
 /// have no open transaction; the loader batches its own commits).
 Result<TpccDatabase> LoadTpcc(sm::Session* session, const TpccConfig& cfg);
 
+/// How a TPC-C transaction ends: kSync commits and blocks until durable
+/// (through the group-commit pipeline); kAsync commits via CommitAsync —
+/// locks drop immediately and durability is acknowledged later by
+/// Session::WaitAll (the driver's drain hook).
+enum class CommitMode : uint8_t { kSync, kAsync };
+
 /// One Payment transaction (§3.2): updates warehouse + district YTD and
 /// the customer's balance, inserts a history row. `home_w` selects the
 /// terminal's warehouse; randomness comes from the session's private RNG.
 /// Returns false on abort (deadlock victim).
-bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w);
+bool RunPayment(sm::Session* session, TpccDatabase* db, uint32_t home_w,
+                CommitMode mode = CommitMode::kSync);
 
 /// One New Order transaction (§3.2): reads warehouse/district/customer,
 /// assigns the next order id, inserts ORDER + NEW-ORDER rows, and for
 /// 5–15 items reads ITEM and updates STOCK, inserting an ORDER-LINE each.
-bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w);
+bool RunNewOrder(sm::Session* session, TpccDatabase* db, uint32_t home_w,
+                 CommitMode mode = CommitMode::kSync);
 
 }  // namespace shoremt::workload
 

@@ -40,15 +40,15 @@ TEST_P(FrameTableTest, InsertFindErase) {
   EXPECT_EQ(pinned, 1);
   EXPECT_EQ(t->FindAndPin(99, [&](int) { FAIL(); }), -1);
 
-  EXPECT_TRUE(t->EraseIf(10, [] { return true; }));
+  EXPECT_TRUE(t->EraseIf(10, [](int) { return true; }));
   EXPECT_EQ(t->FindAndPin(10, [&](int) {}), -1);
-  EXPECT_FALSE(t->EraseIf(10, [] { return true; }));
+  EXPECT_FALSE(t->EraseIf(10, [](int) { return true; }));
 }
 
 TEST_P(FrameTableTest, EraseVetoedByCheck) {
   auto t = Make();
   ASSERT_TRUE(t->Insert(5, 7));
-  EXPECT_FALSE(t->EraseIf(5, [] { return false; }));
+  EXPECT_FALSE(t->EraseIf(5, [](int) { return false; }));
   EXPECT_EQ(t->FindAndPin(5, [](int) {}), 7);
 }
 
@@ -59,7 +59,7 @@ TEST_P(FrameTableTest, SizeTracksMappings) {
   }
   EXPECT_EQ(t->Size(), 100u);
   for (PageNum p = 1; p <= 50; ++p) {
-    ASSERT_TRUE(t->EraseIf(p, [] { return true; }));
+    ASSERT_TRUE(t->EraseIf(p, [](int) { return true; }));
   }
   EXPECT_EQ(t->Size(), 50u);
 }
@@ -91,7 +91,7 @@ TEST_P(FrameTableTest, ConcurrentMixedOperations) {
           t->Insert(p, static_cast<int>(p % 997));
         }
         for (PageNum p = base; p < base + 20; ++p) {
-          t->EraseIf(p, [] { return true; });
+          t->EraseIf(p, [](int) { return true; });
         }
       }
     });

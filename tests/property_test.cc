@@ -118,11 +118,11 @@ TEST_P(FrameTableProperty, RandomOpsMatchReferenceMap) {
       EXPECT_EQ(inserted, !model.contains(page)) << "page " << page;
       if (inserted) model[page] = frame;
     } else if (kind_sel < 65) {
-      bool erased = table->EraseIf(page, [] { return true; });
+      bool erased = table->EraseIf(page, [](int) { return true; });
       EXPECT_EQ(erased, model.erase(page) > 0) << "page " << page;
     } else if (kind_sel < 80) {
       // Vetoed erase never changes anything.
-      table->EraseIf(page, [] { return false; });
+      table->EraseIf(page, [](int) { return false; });
       int found = table->FindAndPin(page, [](int) {});
       auto it = model.find(page);
       EXPECT_EQ(found, it == model.end() ? -1 : it->second);
