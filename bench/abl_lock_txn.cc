@@ -1,9 +1,14 @@
-/// Ablation C: lock-manager request pool + oldest-transaction cache
+/// Ablation C: lock-manager sharding + request pools + oldest-txn cache
 /// (real engine).
 ///
-/// (1) Lock/unlock throughput through the mutex-freelist vs lock-free
-/// request pool (§7.5); (2) OldestActiveTxn cost with the cached id vs
-/// the list scan (§7.3), with many concurrent transactions alive.
+/// (1) Lock/release throughput through the mutex-freelist vs lock-free
+/// per-shard request pool (§7.5); (2) OldestActiveTxn cost with the
+/// cached id vs the list scan (§7.3), with many concurrent transactions
+/// alive; (3) shard-count sweep of the TxnLockList record-lock path:
+/// the sharded table + transaction-private lock cache vs the PR 2-style
+/// single-table configuration where every record lock walks the shared
+/// hierarchy (volume → store → record) and releases with per-id probes.
+/// Panel 3 also emits machine-readable JSON lines (one per data point).
 
 #include <cstdio>
 #include <thread>
@@ -12,6 +17,7 @@
 #include "bench/bench_util.h"
 #include "common/clock.h"
 #include "lock/lock_manager.h"
+#include "lock/txn_lock_list.h"
 #include "log/log_manager.h"
 #include "log/log_storage.h"
 #include "txn/txn_manager.h"
@@ -25,23 +31,28 @@ void RunPoolVariant(lock::RequestPoolKind kind, int threads) {
   opts.pool_kind = kind;
   lock::LockManager mgr(opts);
   const int kOpsPerThread = bench::FullMode() ? 200'000 : 50'000;
+  constexpr int kBatch = 64;  // Locks per transaction (bulk-released).
 
   uint64_t t0 = NowNanos();
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      TxnId txn = t + 1;
-      for (int i = 0; i < kOpsPerThread; ++i) {
-        lock::LockId id = lock::LockId::Record(
-            1, RecordId{static_cast<PageNum>(t * 1000 + i % 64 + 1), 0});
-        (void)mgr.Lock(txn, id, lock::LockMode::kS);
-        (void)mgr.Unlock(txn, id);
+      for (int i = 0; i < kOpsPerThread; i += kBatch) {
+        lock::TxnLockList h =
+            mgr.Attach(static_cast<TxnId>(t) * 10'000'000 + i + 1);
+        for (int j = 0; j < kBatch; ++j) {
+          lock::LockId id = lock::LockId::Record(
+              1, RecordId{static_cast<PageNum>(t * 1000 + (i + j) % 64 + 1),
+                          0});
+          (void)h.Lock(id, lock::LockMode::kS);
+        }
+        h.ReleaseAll();
       }
     });
   }
   for (auto& w : workers) w.join();
   uint64_t ns = NowNanos() - t0;
-  std::printf("%-16s threads=%d  lock+unlock pairs/s=%11.0f\n",
+  std::printf("%-16s threads=%d  lock+release pairs/s=%11.0f\n",
               kind == lock::RequestPoolKind::kMutexFreelist ? "mutex-freelist"
                                                             : "lock-free",
               threads,
@@ -72,11 +83,99 @@ void RunOldestVariant(bool cached) {
   for (auto* t : live) (void)txns.Commit(t);
 }
 
+/// One shard-sweep data point: `threads` workers each run transactions of
+/// `kRecords` record locks over 4 stores. `cached` = one handle per
+/// transaction (intent re-grants served privately, one bulk release);
+/// !cached = one handle per record (every lock walks the shared hierarchy
+/// and releases alone — the PR 2 single-table behaviour, where LockRecord
+/// probed three shared buckets per row and commit released per id).
+void RunShardPoint(size_t shards, int threads, bool cached) {
+  lock::LockOptions opts;
+  opts.shards = shards;
+  lock::LockManager mgr(opts);
+  const int kTxnsPerThread = bench::FullMode() ? 4'000 : 1'200;
+  constexpr int kRecords = 48;
+
+  std::vector<uint64_t> hits(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> acquires(static_cast<size_t>(threads), 0);
+  uint64_t t0 = NowNanos();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnId next = static_cast<TxnId>(t) * 100'000'000 + 1;
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        if (cached) {
+          lock::TxnLockList h = mgr.Attach(next++);
+          for (int j = 0; j < kRecords; ++j) {
+            StoreId store = static_cast<StoreId>(1 + j % 4);
+            RecordId rid{static_cast<PageNum>(t * 100'000 + i * 64 + j + 1),
+                         0};
+            (void)h.LockRecord(store, rid, lock::LockMode::kX);
+          }
+          hits[static_cast<size_t>(t)] += h.cache_hits();
+          h.ReleaseAll();
+        } else {
+          for (int j = 0; j < kRecords; ++j) {
+            lock::TxnLockList h = mgr.Attach(next++);
+            StoreId store = static_cast<StoreId>(1 + j % 4);
+            RecordId rid{static_cast<PageNum>(t * 100'000 + i * 64 + j + 1),
+                         0};
+            (void)h.LockRecord(store, rid, lock::LockMode::kX);
+            h.ReleaseAll();
+          }
+        }
+        acquires[static_cast<size_t>(t)] += kRecords;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t ns = NowNanos() - t0;
+  uint64_t total_locks = 0, total_hits = 0;
+  for (int t = 0; t < threads; ++t) {
+    total_locks += acquires[static_cast<size_t>(t)];
+    total_hits += hits[static_cast<size_t>(t)];
+  }
+  double locks_per_s = static_cast<double>(total_locks) * 1e9 /
+                       static_cast<double>(ns);
+  double hit_rate =
+      cached ? static_cast<double>(total_hits) /
+                   static_cast<double>(total_locks * 3)  // vol+store+rec.
+             : 0.0;
+  std::printf("%-22s shards=%-3zu threads=%d  record locks/s=%11.0f  "
+              "cache-hit rate=%.2f\n",
+              cached ? "sharded+cached" : "single-probe (PR2-ish)",
+              mgr.shard_count(), threads, locks_per_s, hit_rate);
+  std::printf("JSON {\"bench\":\"abl_lock_txn\",\"panel\":\"shard_sweep\","
+              "\"variant\":\"%s\",\"shards\":%zu,\"threads\":%d,"
+              "\"record_locks_per_sec\":%.0f,\"cache_hit_rate\":%.4f}\n",
+              cached ? "cached" : "baseline", mgr.shard_count(), threads,
+              locks_per_s, hit_rate);
+}
+
+void RunShardSweep() {
+  std::printf("--- shard sweep: TxnLockList record locks "
+              "(vol+store intents + row X, bulk release) ---\n");
+  int max_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (max_threads < 4) max_threads = 4;
+  if (max_threads > 8 && !bench::FullMode()) max_threads = 8;
+  // The PR 2 single-table baseline: one shard, every lock through the
+  // shared table, per-id release.
+  RunShardPoint(/*shards=*/1, max_threads, /*cached=*/false);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    RunShardPoint(shards, max_threads, /*cached=*/true);
+  }
+  std::printf("expected: the cached configurations beat the single-probe "
+              "baseline at every shard\ncount (intent re-grants never touch "
+              "the table; release is one latch per shard), and\nthroughput "
+              "rises with shards while record traffic contends on fewer "
+              "latches.\n");
+}
+
 }  // namespace
 
 int main() {
-  std::printf("=== Ablation C: lock request pool + oldest-txn cache "
-              "(real engine) ===\n\n");
+  std::printf("=== Ablation C: lock sharding + request pools + oldest-txn "
+              "cache (real engine) ===\n\n");
   for (auto kind : {lock::RequestPoolKind::kMutexFreelist,
                     lock::RequestPoolKind::kLockFreeStack}) {
     RunPoolVariant(kind, 1);
@@ -85,8 +184,10 @@ int main() {
   std::printf("\n");
   RunOldestVariant(/*cached=*/false);
   RunOldestVariant(/*cached=*/true);
-  std::printf("\nexpected: the lock-free pool wins under concurrency; the "
-              "cached oldest-txn id\nturns a mutex-protected list scan "
-              "into one atomic load (§7.3).\n");
+  std::printf("\n");
+  RunShardSweep();
+  std::printf("\nexpected: the lock-free per-shard pool wins under "
+              "concurrency; the cached oldest-txn id\nturns a "
+              "mutex-protected list scan into one atomic load (§7.3).\n");
   return 0;
 }

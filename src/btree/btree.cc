@@ -12,14 +12,12 @@ using buffer::PageHandle;
 using sync::LatchMode;
 
 BTree::BTree(buffer::BufferPool* pool, space::SpaceManager* space,
-             log::LogManager* log, txn::TxnManager* txns,
-             lock::LockManager* locks, StoreId store, PageNum root,
-             BTreeOptions options)
+             log::LogManager* log, txn::TxnManager* txns, StoreId store,
+             PageNum root, BTreeOptions options)
     : pool_(pool),
       space_(space),
       log_(log),
       txns_(txns),
-      locks_(locks),
       store_(store),
       root_(root),
       options_(options) {}
@@ -283,8 +281,11 @@ Status BTree::Insert(txn::Transaction* txn, uint64_t key, RecordId rid) {
 Result<RecordId> BTree::Find(txn::Transaction* txn, uint64_t key) {
   stats_.finds.fetch_add(1, std::memory_order_relaxed);
   if (options_.probe_lock_table && txn != nullptr) {
-    // The redundant per-probe lock table search removed in §7.7.
-    (void)locks_->HeldMode(txn->id, lock::LockId::Store(store_));
+    // §7.7's redundant per-probe check. The shared-table search this knob
+    // used to emulate is gone for good: the transaction's private lock
+    // cache answers the same question with a handle-local map lookup, so
+    // even with the knob on, no latch and no shared cache line is touched.
+    (void)txn->locks.HeldMode(lock::LockId::Store(store_));
     stats_.probe_lock_searches.fetch_add(1, std::memory_order_relaxed);
   }
   SHOREMT_ASSIGN_OR_RETURN(PageHandle h,

@@ -10,7 +10,6 @@
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "lock/lock_manager.h"
 #include "log/log_manager.h"
 #include "space/space_manager.h"
 #include "txn/txn_manager.h"
@@ -19,9 +18,12 @@ namespace shoremt::btree {
 
 /// B+Tree behaviour knobs.
 struct BTreeOptions {
-  /// Emulates the "unnecessary search of the lock table initiated by
-  /// B+Tree probes" that §7.7 removed: every probe performs a redundant
-  /// lock-table lookup. Off in the final stage.
+  /// The "unnecessary search of the lock table initiated by B+Tree
+  /// probes" that §7.7 removed: every probe performs a redundant
+  /// held-mode check. Since the lock-cache redesign the check reads the
+  /// transaction's private TxnLockList (a handle-local map lookup) — the
+  /// shared-table walk it used to emulate no longer exists anywhere.
+  /// Off in the final stage.
   bool probe_lock_table = false;
 };
 
@@ -47,9 +49,8 @@ struct BTreeStats {
 class BTree {
  public:
   BTree(buffer::BufferPool* pool, space::SpaceManager* space,
-        log::LogManager* log, txn::TxnManager* txns,
-        lock::LockManager* locks, StoreId store, PageNum root,
-        BTreeOptions options);
+        log::LogManager* log, txn::TxnManager* txns, StoreId store,
+        PageNum root, BTreeOptions options);
 
   /// Allocates and formats a root leaf for a new tree (logged under
   /// `txn`); returns the root page number.
@@ -144,7 +145,6 @@ class BTree {
   space::SpaceManager* space_;
   log::LogManager* log_;
   txn::TxnManager* txns_;
-  lock::LockManager* locks_;
   StoreId store_;
   PageNum root_;
   BTreeOptions options_;

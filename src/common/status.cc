@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kBusy:
       return "Busy";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kNotSupported:
       return "NotSupported";
     case StatusCode::kInternal:

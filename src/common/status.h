@@ -21,6 +21,8 @@ enum class StatusCode {
   kTimeout,          ///< Lock or latch wait exceeded its budget.
   kAborted,          ///< Transaction was rolled back.
   kBusy,             ///< Resource transiently unavailable; retry.
+  kResourceExhausted,  ///< A fixed-size internal pool drained (recoverable:
+                       ///< abort the requester and retry later).
   kNotSupported,     ///< Operation not implemented for this configuration.
   kInternal,         ///< Invariant violation inside the storage manager.
 };
@@ -68,6 +70,9 @@ class Status {
   static Status Busy(std::string msg) {
     return Status(StatusCode::kBusy, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
@@ -84,6 +89,9 @@ class Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -30,7 +30,11 @@ enum class RequestPoolKind : uint8_t {
 };
 
 /// Pre-allocated pool of LockRequest records (§2.2.3: "the lock manager
-/// maintains a pool of pre-allocated lock requests").
+/// maintains a pool of pre-allocated lock requests"). The sharded lock
+/// table owns one pool PER SHARD — the single global pool was an
+/// allocation funnel (every Lock/Unlock pushed through one lock-free
+/// stack head), and per-shard pools also make exhaustion local: a drained
+/// shard reports ResourceExhausted without starving the others.
 class RequestPool {
  public:
   RequestPool(RequestPoolKind kind, uint32_t capacity)

@@ -1,0 +1,127 @@
+#ifndef SHOREMT_LOCK_TXN_LOCK_LIST_H_
+#define SHOREMT_LOCK_TXN_LOCK_LIST_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_id.h"
+#include "lock/lock_manager.h"
+#include "lock/lock_mode.h"
+
+namespace shoremt::lock {
+
+/// A transaction's private view of the lock table — the only way to
+/// acquire locks. Owned by the Transaction, vended by
+/// LockManager::Attach(TxnId), used by one thread at a time (the
+/// storage-manager threading model: a transaction runs on one thread).
+///
+/// The handle carries:
+///  - a private cache of held modes, so re-granting an equal-or-weaker
+///    mode (the overwhelmingly common case for volume/store intention
+///    locks — every row operation re-requests them) never touches the
+///    shared table;
+///  - the per-store row-lock counters that drive lock escalation, moving
+///    escalation out of the transaction manager and into the lock layer;
+///  - each lock's shard, so ReleaseAll bulk-releases with one latch
+///    acquisition per touched shard instead of per-id hash probes.
+///
+/// A default-constructed handle is detached: every Lock call fails with
+/// InvalidArgument until a real handle is move-assigned over it.
+class TxnLockList {
+ public:
+  TxnLockList() = default;
+  /// Moves detach the source: a moved-from handle rejects every Lock call
+  /// with InvalidArgument instead of lying about being attached over
+  /// emptied bookkeeping.
+  TxnLockList(TxnLockList&& other) noexcept { *this = std::move(other); }
+  TxnLockList& operator=(TxnLockList&& other) noexcept {
+    if (this != &other) {
+      mgr_ = other.mgr_;
+      other.mgr_ = nullptr;
+      txn_ = other.txn_;
+      other.txn_ = kInvalidTxnId;
+      held_ = std::move(other.held_);
+      shard_ids_ = std::move(other.shard_ids_);
+      row_counts_ = std::move(other.row_counts_);
+      escalated_ = std::move(other.escalated_);
+      waits_ = other.waits_;
+      cache_hits_ = other.cache_hits_;
+      escalations_ = other.escalations_;
+    }
+    return *this;
+  }
+  TxnLockList(const TxnLockList&) = delete;
+  TxnLockList& operator=(const TxnLockList&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `id`. Served from the private
+  /// cache when the held mode already covers `mode`; otherwise goes to
+  /// the shared table (blocking up to the manager's timeout) and updates
+  /// the cache. Errors: Deadlock (victim), ResourceExhausted (shard
+  /// request pool drained — abort and retry), InvalidArgument (detached).
+  Status Lock(const LockId& id, LockMode mode);
+
+  /// Acquires a store-level lock plus the volume intention above it
+  /// (table scan / escalation / DDL).
+  Status LockStore(StoreId store, LockMode mode);
+
+  /// Acquires a record lock plus the intention locks above it, escalating
+  /// to a store lock past the manager's threshold. After escalation the
+  /// store lock covers every record and further calls are free — except a
+  /// write after a read-escalation, which upgrades the store lock S → X
+  /// through the shared table first.
+  Status LockRecord(StoreId store, RecordId rid, LockMode mode);
+
+  /// The mode this transaction holds on `id` — a handle-local lookup that
+  /// never touches the shared table.
+  LockMode HeldMode(const LockId& id) const {
+    auto it = held_.find(id);
+    return it == held_.end() ? LockMode::kNone : it->second;
+  }
+
+  /// Releases every held lock (strict 2PL end-of-transaction), one shard
+  /// latch per touched shard, and resets the cache. The statistics
+  /// counters survive so they can be harvested afterwards.
+  void ReleaseAll();
+
+  bool attached() const { return mgr_ != nullptr; }
+  TxnId txn() const { return txn_; }
+  /// Distinct objects currently held (cache size).
+  size_t held() const { return held_.size(); }
+
+  // --- thread-private statistics (harvested into TxnCounters) -------------
+  /// Lock requests that had to park in the shared table.
+  uint64_t waits() const { return waits_; }
+  /// Requests served entirely from the private cache.
+  uint64_t cache_hits() const { return cache_hits_; }
+  /// Row→store escalations performed through this handle.
+  uint64_t escalations() const { return escalations_; }
+
+ private:
+  friend class LockManager;
+
+  TxnLockList(LockManager* mgr, TxnId txn);
+
+  LockManager* mgr_ = nullptr;
+  TxnId txn_ = kInvalidTxnId;
+  /// Cache of held modes; exact, because every acquisition goes through
+  /// this handle and locks drop only at ReleaseAll (strict 2PL).
+  std::unordered_map<LockId, LockMode, LockIdHash> held_;
+  /// Held lock ids grouped by shard, in acquisition order (ReleaseAll
+  /// walks each group newest-first under one shard latch).
+  std::vector<std::vector<LockId>> shard_ids_;
+  /// Row locks taken per store — drives escalation.
+  std::unordered_map<StoreId, uint32_t> row_counts_;
+  /// Stores where this transaction escalated to a store-level lock.
+  std::unordered_set<StoreId> escalated_;
+  uint64_t waits_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t escalations_ = 0;
+};
+
+}  // namespace shoremt::lock
+
+#endif  // SHOREMT_LOCK_TXN_LOCK_LIST_H_

@@ -16,7 +16,8 @@ StorageOptions StorageOptions::ForStage(Stage stage) {
   o.space.last_page_cache = false;
   o.space.full_scan_ownership = true;
   o.log.buffer_kind = log::LogBufferKind::kMutex;
-  o.lock.per_bucket_latch = false;
+  o.lock.per_shard_latch = false;
+  o.lock.shards = 1;  // One centralized table, like the original Shore.
   o.lock.pool_kind = lock::RequestPoolKind::kMutexFreelist;
   o.txn.oldest_txn_cache = false;
   o.btree.probe_lock_table = true;
@@ -43,9 +44,10 @@ StorageOptions StorageOptions::ForStage(Stage stage) {
   o.buffer.table_kind = buffer::TableKind::kCuckoo;
   if (stage == Stage::kLog) return o;
 
-  // §7.5 "lock mgr": enable the per-bucket lock-table latches and the
-  // lock-free request pool.
-  o.lock.per_bucket_latch = true;
+  // §7.5 "lock mgr" (extended): per-core table shards with independent
+  // latches and per-shard lock-free request pools.
+  o.lock.per_shard_latch = true;
+  o.lock.shards = 0;  // Auto: one shard per hardware context.
   o.lock.pool_kind = lock::RequestPoolKind::kLockFreeStack;
   if (stage == Stage::kLockManager) return o;
 

@@ -55,6 +55,7 @@ Result<txn::CommitToken> Session::SubmitCommit() {
   // durability acknowledgment is outstanding.
   txn_ = nullptr;
   stats_.lock_waits += token->counters.lock_waits;
+  stats_.lock_cache_hits += token->counters.lock_cache_hits;
   stats_.log_bytes += token->counters.log_bytes;
   ++stats_.commits;
   if (!token->durable && token->lsn > pending_ack_lsn_) {
@@ -94,6 +95,21 @@ Status Session::Wait(txn::CommitToken* token) {
   return st;
 }
 
+bool Session::PollAcks() {
+  if (pending_ack_lsn_.IsNull()) return true;
+  if (sm_->log()->IsDurable(pending_ack_lsn_)) {
+    // Durability is a log prefix: the highest pending LSN being durable
+    // acknowledges everything this session had outstanding.
+    pending_ack_lsn_ = Lsn{};
+    ++stats_.commit_waits_avoided;
+    return true;
+  }
+  // A poisoned pipeline can never acknowledge: stop the poll loop (the
+  // watermark stays set) and let WaitAll report the sticky error — it
+  // returns immediately in this state.
+  return !sm_->log()->pipeline_error().ok();
+}
+
 Status Session::WaitAll() {
   if (pending_ack_lsn_.IsNull()) return Status::Ok();
   Lsn target = pending_ack_lsn_;
@@ -114,6 +130,7 @@ Status Session::Abort() {
   if (!st.ok()) return st;  // Still active; the caller may retry Abort.
   txn_ = nullptr;
   stats_.lock_waits += counters.lock_waits;
+  stats_.lock_cache_hits += counters.lock_cache_hits;
   stats_.log_bytes += counters.log_bytes;
   ++stats_.aborts;
   return st;
@@ -250,8 +267,8 @@ Status Cursor::SettleOnRow() {
   if (index == nullptr) return Status::NotFound("unknown table");
   while (it_.Valid()) {
     RecordId rid = it_.record();
-    SHOREMT_RETURN_NOT_OK(sm->txns()->LockRecord(
-        session_->txn_, table_.heap_store, rid, lock::LockMode::kS));
+    SHOREMT_RETURN_NOT_OK(session_->txn_->locks.LockRecord(
+        table_.heap_store, rid, lock::LockMode::kS));
     // The buffered (key, rid) pair may be stale by the time the lock is
     // granted: the row can have been deleted — and its heap slot reused
     // by a different key — between the index probe and here. Re-probe

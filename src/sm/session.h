@@ -108,6 +108,15 @@ class Session {
   /// (one wait on the highest pending commit LSN — durability is a log
   /// prefix, so it covers all of them).
   Status WaitAll();
+  /// Non-blocking ack harvest: true when every CommitAsync this session
+  /// has issued is durable (clearing the pending watermark), false while
+  /// acknowledgments are still outstanding. Never parks — a server loop
+  /// calls this between requests instead of dedicating a thread to
+  /// WaitAll. Pair with CommitToken::TryWait for per-token polling.
+  /// If the flush pipeline carries a sticky error it also returns true
+  /// (polling can never succeed) but leaves the watermark set — call
+  /// WaitAll(), which returns immediately, to observe the error.
+  bool PollAcks();
   /// Aborts the open transaction, rolling back through the WAL chain.
   Status Abort();
   bool InTransaction() const { return txn_ != nullptr; }

@@ -27,6 +27,10 @@ struct SessionStats {
   uint64_t batch_ops = 0;  ///< Ops submitted through Apply().
 
   uint64_t lock_waits = 0;  ///< Lock requests that had to park.
+  /// Lock requests served from the transaction-private lock cache
+  /// (volume/store intention re-grants and escalated-store row locks)
+  /// without touching the shared lock table.
+  uint64_t lock_cache_hits = 0;
   uint64_t log_bytes = 0;   ///< WAL bytes appended by this session's txns.
 
   // Group-commit pipeline counters (commits counts these too; a commit is
@@ -54,6 +58,7 @@ struct SessionStats {
     batches += o.batches;
     batch_ops += o.batch_ops;
     lock_waits += o.lock_waits;
+    lock_cache_hits += o.lock_cache_hits;
     log_bytes += o.log_bytes;
     async_commits += o.async_commits;
     commit_waits += o.commit_waits;
@@ -78,6 +83,7 @@ class SessionStatsAggregate {
     batches_.fetch_add(s.batches, std::memory_order_relaxed);
     batch_ops_.fetch_add(s.batch_ops, std::memory_order_relaxed);
     lock_waits_.fetch_add(s.lock_waits, std::memory_order_relaxed);
+    lock_cache_hits_.fetch_add(s.lock_cache_hits, std::memory_order_relaxed);
     log_bytes_.fetch_add(s.log_bytes, std::memory_order_relaxed);
     async_commits_.fetch_add(s.async_commits, std::memory_order_relaxed);
     commit_waits_.fetch_add(s.commit_waits, std::memory_order_relaxed);
@@ -98,6 +104,7 @@ class SessionStatsAggregate {
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
     s.lock_waits = lock_waits_.load(std::memory_order_relaxed);
+    s.lock_cache_hits = lock_cache_hits_.load(std::memory_order_relaxed);
     s.log_bytes = log_bytes_.load(std::memory_order_relaxed);
     s.async_commits = async_commits_.load(std::memory_order_relaxed);
     s.commit_waits = commit_waits_.load(std::memory_order_relaxed);
@@ -118,6 +125,7 @@ class SessionStatsAggregate {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> lock_waits_{0};
+  std::atomic<uint64_t> lock_cache_hits_{0};
   std::atomic<uint64_t> log_bytes_{0};
   std::atomic<uint64_t> async_commits_{0};
   std::atomic<uint64_t> commit_waits_{0};

@@ -87,8 +87,8 @@ void StorageManager::RegisterTable(const TableInfo& info) {
   std::lock_guard<std::mutex> guard(catalog_mutex_);
   catalog_[info.name] = info;
   indexes_[info.index_store] = std::make_unique<btree::BTree>(
-      pool_.get(), space_.get(), log_.get(), txns_.get(), locks_.get(),
-      info.index_store, info.index_root, options_.btree);
+      pool_.get(), space_.get(), log_.get(), txns_.get(), info.index_store,
+      info.index_root, options_.btree);
 }
 
 btree::BTree* StorageManager::index_of(const TableInfo& table) {
@@ -125,9 +125,9 @@ Result<TableInfo> StorageManager::CreateTableReserved(
   // concurrent transactional OpenTable blocks on these instead of
   // observing the table half-created.
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockStore(txn, info.heap_store, lock::LockMode::kX));
+      txn->locks.LockStore(info.heap_store, lock::LockMode::kX));
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockStore(txn, info.index_store, lock::LockMode::kX));
+      txn->locks.LockStore(info.index_store, lock::LockMode::kX));
 
   for (StoreId sid : {info.heap_store, info.index_store}) {
     SHOREMT_RETURN_NOT_OK(space_->CreateStore(sid));
@@ -173,7 +173,7 @@ Result<TableInfo> StorageManager::OpenTable(txn::Transaction* txn,
   // locks, we wait here until the DDL commits (or time out if it never
   // does) rather than touch a half-built table.
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockStore(txn, info.heap_store, lock::LockMode::kIS));
+      txn->locks.LockStore(info.heap_store, lock::LockMode::kIS));
   return info;
 }
 
@@ -254,7 +254,7 @@ Result<RecordId> StorageManager::Insert(txn::Transaction* txn,
   SHOREMT_ASSIGN_OR_RETURN(RecordId rid,
                            HeapInsert(txn, table.heap_store, payload));
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+      txn->locks.LockRecord(table.heap_store, rid, lock::LockMode::kX));
   // On duplicate key the caller aborts the transaction, which rolls the
   // heap placement back through the WAL chain.
   SHOREMT_RETURN_NOT_OK(index->Insert(txn, key, rid));
@@ -267,7 +267,7 @@ Status StorageManager::ReadInto(txn::Transaction* txn, const TableInfo& table,
   if (index == nullptr) return Status::NotFound("unknown table");
   SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kS));
+      txn->locks.LockRecord(table.heap_store, rid, lock::LockMode::kS));
   SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
                            pool_->FixPage(rid.page, LatchMode::kShared));
   page::SlottedPage sp(h.data());
@@ -291,7 +291,7 @@ Status StorageManager::Update(txn::Transaction* txn, const TableInfo& table,
   if (index == nullptr) return Status::NotFound("unknown table");
   SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+      txn->locks.LockRecord(table.heap_store, rid, lock::LockMode::kX));
   SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
                            pool_->FixPage(rid.page, LatchMode::kExclusive));
   page::SlottedPage sp(h.data());
@@ -318,7 +318,7 @@ Status StorageManager::Delete(txn::Transaction* txn, const TableInfo& table,
   if (index == nullptr) return Status::NotFound("unknown table");
   SHOREMT_ASSIGN_OR_RETURN(RecordId rid, index->Find(txn, key));
   SHOREMT_RETURN_NOT_OK(
-      txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kX));
+      txn->locks.LockRecord(table.heap_store, rid, lock::LockMode::kX));
   {
     SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
                              pool_->FixPage(rid.page, LatchMode::kExclusive));
@@ -354,7 +354,7 @@ Status StorageManager::Scan(
   }));
   for (const auto& [key, rid] : matches) {
     SHOREMT_RETURN_NOT_OK(
-        txns_->LockRecord(txn, table.heap_store, rid, lock::LockMode::kS));
+        txn->locks.LockRecord(table.heap_store, rid, lock::LockMode::kS));
     SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
                              pool_->FixPage(rid.page, LatchMode::kShared));
     page::SlottedPage sp(h.data());

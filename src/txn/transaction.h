@@ -2,12 +2,9 @@
 #define SHOREMT_TXN_TRANSACTION_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "common/types.h"
-#include "lock/lock_id.h"
+#include "lock/txn_lock_list.h"
 
 namespace shoremt::txn {
 
@@ -34,24 +31,12 @@ struct Transaction {
   /// between start and end LSN). Thread-private: feeds the owning
   /// session's statistics without touching a shared counter.
   uint64_t log_bytes = 0;
-  /// Lock requests by this transaction that had to park.
-  uint64_t lock_waits = 0;
 
-  /// Locks held, in acquisition order (released in reverse at end).
-  std::vector<lock::LockId> held_locks;
-  /// Fast dedupe of held_locks.
-  std::unordered_set<lock::LockId, lock::LockIdHash> held_set;
-
-  /// Row locks taken per store — drives lock escalation.
-  std::unordered_map<StoreId, uint32_t> row_lock_counts;
-  /// Stores where this transaction escalated to a store-level lock.
-  std::unordered_set<StoreId> escalated_stores;
-
-  bool Holds(const lock::LockId& id) const { return held_set.contains(id); }
-
-  void RememberLock(const lock::LockId& id) {
-    if (held_set.insert(id).second) held_locks.push_back(id);
-  }
+  /// The transaction's private lock handle (attached by TxnManager::Begin)
+  /// — the only way this transaction acquires locks. It carries the
+  /// held-mode cache, per-store escalation counters, and per-shard release
+  /// lists; TxnManager::CommitAsync/Abort bulk-release through it.
+  lock::TxnLockList locks;
 };
 
 }  // namespace shoremt::txn

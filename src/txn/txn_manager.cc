@@ -4,9 +4,6 @@
 
 namespace shoremt::txn {
 
-using lock::LockId;
-using lock::LockMode;
-
 TxnManager::TxnManager(log::LogManager* log, lock::LockManager* locks,
                        TxnOptions options)
     : log_(log), locks_(locks), options_(options) {}
@@ -14,6 +11,7 @@ TxnManager::TxnManager(log::LogManager* log, lock::LockManager* locks,
 Transaction* TxnManager::Begin() {
   auto txn = std::make_unique<Transaction>();
   txn->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  txn->locks = locks_->Attach(txn->id);
   Transaction* raw = txn.get();
   {
     std::lock_guard<std::mutex> guard(active_mutex_);
@@ -37,13 +35,9 @@ void TxnManager::Retire(Transaction* txn) {
 }
 
 void TxnManager::ReleaseAllLocks(Transaction* txn) {
-  // Strict 2PL: everything goes at once, newest first.
-  for (auto it = txn->held_locks.rbegin(); it != txn->held_locks.rend();
-       ++it) {
-    (void)locks_->Unlock(txn->id, *it);
-  }
-  txn->held_locks.clear();
-  txn->held_set.clear();
+  // Strict 2PL: everything goes at once — one latch acquisition per shard
+  // the transaction touched, through its private handle.
+  txn->locks.ReleaseAll();
 }
 
 Result<CommitToken> TxnManager::CommitAsync(Transaction* txn) {
@@ -60,7 +54,7 @@ Result<CommitToken> TxnManager::CommitAsync(Transaction* txn) {
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
     txn->log_bytes += a.end.value - a.lsn.value;
     token.lsn = a.end;
-  } else if (!txn->held_locks.empty()) {
+  } else if (txn->locks.held() > 0) {
     // Read-only but it observed locked state: with early lock release a
     // predecessor's writes can be committed-but-unflushed when this
     // transaction reads them, so its acknowledgment must not outrun the
@@ -70,7 +64,9 @@ Result<CommitToken> TxnManager::CommitAsync(Transaction* txn) {
     // order. A lock-free transaction observed nothing and stays instant.
     token.lsn = log_->next_lsn();
   }
-  token.counters = TxnCounters{txn->log_bytes, txn->lock_waits};
+  token.counters = TxnCounters{txn->log_bytes, txn->locks.waits(),
+                               txn->locks.cache_hits()};
+  token.log = log_;
   // The commit point is the in-memory commit-record append above. Early
   // lock release: successors may touch this transaction's rows right now,
   // before the flush — their commit records land at higher LSNs, so the
@@ -137,59 +133,13 @@ Status TxnManager::Abort(Transaction* txn, TxnCounters* counters_out) {
   // Counters are read only now: the undo pass above appended CLRs (via
   // NoteLogged), which must be part of the reported WAL traffic.
   if (counters_out != nullptr) {
-    *counters_out = TxnCounters{txn->log_bytes, txn->lock_waits};
+    *counters_out = TxnCounters{txn->log_bytes, txn->locks.waits(),
+                                txn->locks.cache_hits()};
   }
   txn->state = TxnState::kAborted;
   ReleaseAllLocks(txn);
   Retire(txn);
   stats_.aborted.fetch_add(1, std::memory_order_relaxed);
-  return Status::Ok();
-}
-
-Status TxnManager::LockStore(Transaction* txn, StoreId store, LockMode mode) {
-  LockId vol = LockId::Volume();
-  LockMode vol_mode = lock::IntentionFor(mode);
-  if (vol_mode != LockMode::kNone) {
-    SHOREMT_RETURN_NOT_OK(
-        locks_->Lock(txn->id, vol, vol_mode, &txn->lock_waits));
-    txn->RememberLock(vol);
-  }
-  LockId sid = LockId::Store(store);
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, sid, mode, &txn->lock_waits));
-  txn->RememberLock(sid);
-  return Status::Ok();
-}
-
-Status TxnManager::LockRecord(Transaction* txn, StoreId store, RecordId rid,
-                              LockMode mode) {
-  // After escalation the store-level lock covers every record.
-  if (txn->escalated_stores.contains(store)) return Status::Ok();
-
-  if (options_.enable_escalation &&
-      txn->row_lock_counts[store] >= options_.escalation_threshold) {
-    LockMode store_mode =
-        (mode == LockMode::kS) ? LockMode::kS : LockMode::kX;
-    Status st = LockStore(txn, store, store_mode);
-    if (st.ok()) {
-      txn->escalated_stores.insert(store);
-      stats_.escalations.fetch_add(1, std::memory_order_relaxed);
-      return Status::Ok();
-    }
-    // Escalation denied (someone else holds rows): fall through to the
-    // plain row lock.
-  }
-
-  LockMode intent = lock::IntentionFor(mode);
-  SHOREMT_RETURN_NOT_OK(
-      locks_->Lock(txn->id, LockId::Volume(), intent, &txn->lock_waits));
-  txn->RememberLock(LockId::Volume());
-  SHOREMT_RETURN_NOT_OK(
-      locks_->Lock(txn->id, LockId::Store(store), intent, &txn->lock_waits));
-  txn->RememberLock(LockId::Store(store));
-  LockId row = LockId::Record(store, rid);
-  SHOREMT_RETURN_NOT_OK(locks_->Lock(txn->id, row, mode, &txn->lock_waits));
-  txn->RememberLock(row);
-  ++txn->row_lock_counts[store];
   return Status::Ok();
 }
 

@@ -16,22 +16,20 @@
 
 namespace shoremt::txn {
 
-/// Transaction manager knobs; defaults = Shore-MT "final".
+/// Transaction manager knobs; defaults = Shore-MT "final". Lock
+/// escalation configuration moved into lock::LockOptions — the
+/// transaction's TxnLockList handle carries the per-store counters now.
 struct TxnOptions {
   /// Keep the oldest active transaction id in an atomically-readable
   /// variable, updated by committing transactions, instead of scanning the
   /// active list under its mutex on every query (§7.3).
   bool oldest_txn_cache = true;
-  /// Row locks per store before escalating to a store-level lock.
-  uint32_t escalation_threshold = 1000;
-  bool enable_escalation = true;
 };
 
 struct TxnStats {
   std::atomic<uint64_t> begun{0};
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};
-  std::atomic<uint64_t> escalations{0};
   std::atomic<uint64_t> oldest_scans{0};
 };
 
@@ -41,6 +39,9 @@ struct TxnStats {
 struct TxnCounters {
   uint64_t log_bytes = 0;
   uint64_t lock_waits = 0;
+  /// Lock requests served from the transaction's private cache (never
+  /// touched the shared table).
+  uint64_t lock_cache_hits = 0;
 };
 
 /// Handle to an asynchronously committed transaction, returned by
@@ -66,6 +67,26 @@ struct CommitToken {
   /// the start for read-only transactions or if the group flush already
   /// passed `lsn`).
   bool durable = false;
+  /// The log the commit record went to (set by CommitAsync) — lets
+  /// TryWait poll durability without a manager round-trip. Non-owning:
+  /// the token must not outlive the storage manager.
+  log::LogManager* log = nullptr;
+
+  /// Non-blocking durability poll: true once the commit is durable (and
+  /// marks the token so). Never parks — servers harvest acks between
+  /// requests instead of parking a thread per commit. A sticky pipeline
+  /// error also returns true so the poll loop terminates, but the token
+  /// stays non-durable: check `durable` after a true return, and resolve
+  /// the error with TxnManager::Wait / Session::Wait (immediate in that
+  /// state), which report it.
+  bool TryWait() {
+    if (durable) return true;
+    if (lsn.IsNull() || log == nullptr || log->IsDurable(lsn)) {
+      durable = true;
+      return true;
+    }
+    return !log->pipeline_error().ok();
+  }
 };
 
 /// Coordinates transaction lifecycle (§2.2.5): begin/commit/abort, strict
@@ -115,14 +136,11 @@ class TxnManager {
   /// Aborts: undoes the txn's updates via the WAL chain (logging CLRs),
   /// then releases locks and destroys the object, reporting final
   /// counters like Commit.
+  ///
+  /// Locking moved to the transaction's handle: use
+  /// `txn->locks.LockRecord(...)` / `txn->locks.LockStore(...)` (the
+  /// TxnLockList carries the held-mode cache and escalation counters).
   Status Abort(Transaction* txn, TxnCounters* counters_out = nullptr);
-
-  /// Acquires a record lock plus the intention locks above it, escalating
-  /// to a store lock past the configured threshold.
-  Status LockRecord(Transaction* txn, StoreId store, RecordId rid,
-                    lock::LockMode mode);
-  /// Acquires a store-level lock (table scan / escalation / DDL).
-  Status LockStore(Transaction* txn, StoreId store, lock::LockMode mode);
 
   /// Oldest active transaction id (kInvalidTxnId when none). With the
   /// cache enabled this is one atomic load; otherwise it scans the active

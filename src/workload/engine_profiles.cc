@@ -231,7 +231,7 @@ WorkloadModel InsertMicroModel(EngineKind engine, sm::Stage stage,
   }
 
   // Lock manager.
-  if (o.lock.per_bucket_latch) {
+  if (o.lock.per_shard_latch) {
     m.sections.push_back(
         {false, SimLockType::kMcs, c.lock_cs, c.lock_acquires, "smt.lock"});
   } else {

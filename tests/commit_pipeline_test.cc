@@ -58,6 +58,38 @@ TEST(CommitPipelineTest, CommitAsyncReturnsTokenAndWaitAcknowledges) {
   EXPECT_EQ(session->stats().commits, 1u);
 }
 
+TEST(CommitPipelineTest, TryWaitAndPollAcksHarvestWithoutBlocking) {
+  Harness h;
+  auto session = h.sm->OpenSession();
+  EXPECT_TRUE(session->PollAcks()) << "nothing outstanding: trivially true";
+  ASSERT_TRUE(session->Begin().ok());
+  auto table = session->CreateTable("t");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session->Insert(*table, 1, Row("v")).ok());
+  auto token = session->CommitAsync();
+  ASSERT_TRUE(token.ok());
+  // Non-blocking ack harvest: poll until the group-commit daemon's flush
+  // passes the commit LSN — the server-loop pattern (no parked thread).
+  while (!token->TryWait()) std::this_thread::yield();
+  EXPECT_TRUE(token->durable);
+  EXPECT_TRUE(token->TryWait()) << "idempotent once durable";
+  EXPECT_GE(h.sm->log()->durable_lsn().value, token->lsn.value);
+  while (!session->PollAcks()) std::this_thread::yield();
+  EXPECT_TRUE(session->PollAcks()) << "watermark cleared: stays true";
+  EXPECT_TRUE(session->WaitAll().ok()) << "no-op after a successful poll";
+}
+
+TEST(CommitPipelineTest, ReadOnlyTokenTryWaitIsImmediatelyTrue) {
+  Harness h;
+  auto session = h.sm->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  auto token = session->CommitAsync();  // Read-only: nothing to flush.
+  ASSERT_TRUE(token.ok());
+  EXPECT_TRUE(token->TryWait());
+  EXPECT_TRUE(token->durable);
+  EXPECT_TRUE(session->PollAcks());
+}
+
 TEST(CommitPipelineTest, ReadOnlyCommitAsyncIsDurableImmediately) {
   Harness h;
   auto session = h.sm->OpenSession();
@@ -315,6 +347,14 @@ TEST(CommitPipelineTest, DaemonFlushErrorIsStickyAndPropagates) {
 
   // Every later wait sees the same sticky error.
   EXPECT_FALSE(session->Wait(&*token).ok());
+  // The non-blocking polls must terminate their loops on the poisoned
+  // pipeline rather than spin forever — TryWait returns true WITHOUT
+  // marking the token durable, PollAcks returns true WITHOUT clearing
+  // the watermark, and WaitAll (immediate here) reports the error.
+  EXPECT_TRUE(token->TryWait());
+  EXPECT_FALSE(token->durable);
+  EXPECT_TRUE(session->PollAcks());  // Watermark still set from the commit.
+  EXPECT_FALSE(session->WaitAll().ok()) << "error observable via WaitAll";
   // Restore the device so teardown's final drain can proceed; the sticky
   // error remains (durability promises stay revoked for this manager).
   h.log.set_fail_appends(false);

@@ -7,16 +7,18 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "lock/lock_manager.h"
+#include "lock/txn_lock_list.h"
 
 namespace shoremt::lock {
 namespace {
 
 using enum LockMode;
 
-LockOptions WfgOptions() {
+LockOptions WfgOptions(size_t shards = 0) {
   LockOptions o;
   o.deadlock_policy = DeadlockPolicy::kWaitsForGraph;
   o.timeout_us = 2'000'000;  // Long timeout: detection must not rely on it.
+  o.shards = shards;
   return o;
 }
 
@@ -24,14 +26,16 @@ TEST(DeadlockDetectorTest, TwoTxnCycleDetectedImmediately) {
   LockManager mgr(WfgOptions());
   LockId a = LockId::Store(1);
   LockId b = LockId::Store(2);
-  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
-  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  ASSERT_TRUE(h2.Lock(b, kX).ok());
 
   std::atomic<bool> t1_blocked{false};
   std::thread t1([&] {
     t1_blocked.store(true);
     // Txn 1 waits for b (held by 2).
-    Status st = mgr.Lock(1, b, kX);
+    Status st = h1.Lock(b, kX);
     // Eventually granted once txn 2 is aborted by the detector.
     EXPECT_TRUE(st.ok()) << st.ToString();
   });
@@ -41,94 +45,183 @@ TEST(DeadlockDetectorTest, TwoTxnCycleDetectedImmediately) {
   // Txn 2 requesting a closes the cycle: it must be chosen as victim
   // promptly (well under the 2s timeout).
   uint64_t t0 = NowNanos();
-  Status st = mgr.Lock(2, a, kX);
+  Status st = h2.Lock(a, kX);
   uint64_t elapsed_ms = (NowNanos() - t0) / 1'000'000;
   EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
   EXPECT_LT(elapsed_ms, 500u) << "cycle must not wait out the timeout";
   EXPECT_GE(mgr.stats().cycles_detected.load(), 1u);
 
-  // Victim releases its locks; the waiter drains.
-  ASSERT_TRUE(mgr.Unlock(2, b).ok());
+  // Victim releases its locks (bulk); the waiter drains.
+  h2.ReleaseAll();
   t1.join();
-  ASSERT_TRUE(mgr.Unlock(1, a).ok());
-  ASSERT_TRUE(mgr.Unlock(1, b).ok());
+  h1.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
 }
 
 TEST(DeadlockDetectorTest, ThreeTxnCycleDetected) {
   LockManager mgr(WfgOptions());
   LockId a = LockId::Store(1), b = LockId::Store(2), c = LockId::Store(3);
-  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
-  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
-  ASSERT_TRUE(mgr.Lock(3, c, kX).ok());
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  TxnLockList h3 = mgr.Attach(3);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  ASSERT_TRUE(h2.Lock(b, kX).ok());
+  ASSERT_TRUE(h3.Lock(c, kX).ok());
 
-  std::thread t1([&] { EXPECT_TRUE(mgr.Lock(1, b, kX).ok()); });   // 1→2
+  std::thread t1([&] { EXPECT_TRUE(h1.Lock(b, kX).ok()); });   // 1→2
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  std::thread t2([&] { EXPECT_TRUE(mgr.Lock(2, c, kX).ok()); });   // 2→3
+  std::thread t2([&] { EXPECT_TRUE(h2.Lock(c, kX).ok()); });   // 2→3
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
 
   // 3→1 closes the 3-cycle.
-  Status st = mgr.Lock(3, a, kX);
+  Status st = h3.Lock(a, kX);
   EXPECT_TRUE(st.IsDeadlock());
 
-  ASSERT_TRUE(mgr.Unlock(3, c).ok());  // Victim unwinds; 2 gets c...
+  h3.ReleaseAll();  // Victim unwinds; 2 gets c...
   t2.join();
-  ASSERT_TRUE(mgr.Unlock(2, b).ok());  // ...then 1 gets b.
+  h2.ReleaseAll();  // ...then 1 gets b.
   t1.join();
-  ASSERT_TRUE(mgr.Unlock(1, a).ok());
-  ASSERT_TRUE(mgr.Unlock(1, b).ok());
-  ASSERT_TRUE(mgr.Unlock(2, c).ok());
+  h1.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+}
+
+/// Finds `n` store ids mapping to pairwise-distinct shards.
+std::vector<StoreId> DistinctShardStores(const LockManager& mgr, size_t n) {
+  std::vector<StoreId> stores;
+  std::vector<size_t> shards;
+  for (StoreId s = 1; s < 10'000 && stores.size() < n; ++s) {
+    size_t shard = mgr.ShardIndex(LockId::Store(s));
+    bool seen = false;
+    for (size_t used : shards) seen = seen || used == shard;
+    if (!seen) {
+      stores.push_back(s);
+      shards.push_back(shard);
+    }
+  }
+  return stores;
+}
+
+TEST(DeadlockDetectorTest, CrossShardTwoTxnCycleDetected) {
+  // The two locks live in different shards, so each edge sits in a
+  // different waits-for partition: only the merged-graph check can see
+  // the cycle.
+  LockManager mgr(WfgOptions(/*shards=*/4));
+  ASSERT_EQ(mgr.shard_count(), 4u);
+  auto stores = DistinctShardStores(mgr, 2);
+  ASSERT_EQ(stores.size(), 2u);
+  LockId a = LockId::Store(stores[0]);
+  LockId b = LockId::Store(stores[1]);
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  ASSERT_TRUE(h2.Lock(b, kX).ok());
+
+  std::atomic<bool> t1_blocked{false};
+  std::thread t1([&] {
+    t1_blocked.store(true);
+    EXPECT_TRUE(h1.Lock(b, kX).ok());  // Granted after the victim unwinds.
+  });
+  while (!t1_blocked.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  uint64_t t0 = NowNanos();
+  Status st = h2.Lock(a, kX);
+  uint64_t elapsed_ms = (NowNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_LT(elapsed_ms, 500u) << "cross-shard cycle must not wait out the "
+                                 "timeout";
+  EXPECT_GE(mgr.stats().cycles_detected.load(), 1u);
+  h2.ReleaseAll();
+  t1.join();
+  h1.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+}
+
+TEST(DeadlockDetectorTest, CrossShardThreeTxnCycleDetected) {
+  // Three transactions, three locks, three distinct shards: the cycle is
+  // visible only through the epoch-stamped merge of all partitions.
+  LockManager mgr(WfgOptions(/*shards=*/4));
+  auto stores = DistinctShardStores(mgr, 3);
+  ASSERT_EQ(stores.size(), 3u);
+  LockId a = LockId::Store(stores[0]);
+  LockId b = LockId::Store(stores[1]);
+  LockId c = LockId::Store(stores[2]);
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  TxnLockList h3 = mgr.Attach(3);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  ASSERT_TRUE(h2.Lock(b, kX).ok());
+  ASSERT_TRUE(h3.Lock(c, kX).ok());
+
+  std::thread t1([&] { EXPECT_TRUE(h1.Lock(b, kX).ok()); });   // 1→2
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread t2([&] { EXPECT_TRUE(h2.Lock(c, kX).ok()); });   // 2→3
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  uint64_t t0 = NowNanos();
+  Status st = h3.Lock(a, kX);  // 3→1 closes the cycle.
+  uint64_t elapsed_ms = (NowNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_LT(elapsed_ms, 500u);
+
+  h3.ReleaseAll();
+  t2.join();
+  h2.ReleaseAll();
+  t1.join();
+  h1.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
 }
 
 TEST(DeadlockDetectorTest, WaitChainWithoutCycleIsNotAVictim) {
   LockManager mgr(WfgOptions());
   LockId a = LockId::Store(1), b = LockId::Store(2);
-  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
-  ASSERT_TRUE(mgr.Lock(2, b, kX).ok());
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  TxnLockList h3 = mgr.Attach(3);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  ASSERT_TRUE(h2.Lock(b, kX).ok());
 
   // 3 waits on a, 2 waits on a: a chain, no cycle — nobody may be killed.
   std::atomic<int> granted{0};
   std::thread t3([&] {
-    if (mgr.Lock(3, a, kS).ok()) {
-      granted.fetch_add(1);
-      EXPECT_TRUE(mgr.Unlock(3, a).ok());
-    }
+    if (h3.Lock(a, kS).ok()) granted.fetch_add(1);
   });
   std::thread t2([&] {
-    if (mgr.Lock(2, a, kS).ok()) {
-      granted.fetch_add(1);
-      EXPECT_TRUE(mgr.Unlock(2, a).ok());
-    }
+    if (h2.Lock(a, kS).ok()) granted.fetch_add(1);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_EQ(mgr.stats().cycles_detected.load(), 0u);
-  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  h1.ReleaseAll();
   t3.join();
   t2.join();
   EXPECT_EQ(granted.load(), 2);
-  ASSERT_TRUE(mgr.Unlock(2, b).ok());
+  h2.ReleaseAll();
+  h3.ReleaseAll();
 }
 
 TEST(DeadlockDetectorTest, UpgradeCycleDetected) {
   LockManager mgr(WfgOptions());
   LockId a = LockId::Store(1);
-  ASSERT_TRUE(mgr.Lock(1, a, kS).ok());
-  ASSERT_TRUE(mgr.Lock(2, a, kS).ok());
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  ASSERT_TRUE(h1.Lock(a, kS).ok());
+  ASSERT_TRUE(h2.Lock(a, kS).ok());
 
   std::atomic<bool> t1_done{false};
   std::thread t1([&] {
-    Status st = mgr.Lock(1, a, kX);  // Upgrade: waits on txn 2's S.
+    Status st = h1.Lock(a, kX);  // Upgrade: waits on txn 2's S.
     t1_done.store(true);
     // Granted after txn 2 (the victim) releases.
     EXPECT_TRUE(st.ok()) << st.ToString();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
 
-  Status st = mgr.Lock(2, a, kX);  // Second upgrade closes the cycle.
+  Status st = h2.Lock(a, kX);  // Second upgrade closes the cycle.
   EXPECT_TRUE(st.IsDeadlock());
-  ASSERT_TRUE(mgr.Unlock(2, a).ok());
+  h2.ReleaseAll();
   t1.join();
   EXPECT_TRUE(t1_done.load());
-  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  h1.ReleaseAll();
 }
 
 TEST(DeadlockDetectorTest, StressNoHangsManyTxns) {
@@ -142,23 +235,23 @@ TEST(DeadlockDetectorTest, StressNoHangsManyTxns) {
     workers.emplace_back([&, t] {
       Rng rng(t + 1);
       for (int i = 0; i < kRounds; ++i) {
-        TxnId txn = static_cast<TxnId>(t * 10000 + i + 1);
+        TxnLockList h =
+            mgr.Attach(static_cast<TxnId>(t * 10'000 + i + 1));
         LockId first = LockId::Store(1 + rng.Uniform(3));
         LockId second = LockId::Store(1 + rng.Uniform(3));
-        Status s1 = mgr.Lock(txn, first, kX);
+        Status s1 = h.Lock(first, kX);
         if (!s1.ok()) {
           victims.fetch_add(1);
+          h.ReleaseAll();
           continue;
         }
-        Status s2 = first == second ? Status::Ok()
-                                    : mgr.Lock(txn, second, kX);
+        Status s2 = first == second ? Status::Ok() : h.Lock(second, kX);
         if (s2.ok()) {
           commits.fetch_add(1);
-          if (first != second) (void)mgr.Unlock(txn, second);
         } else {
           victims.fetch_add(1);
         }
-        (void)mgr.Unlock(txn, first);
+        h.ReleaseAll();
       }
     });
   }
@@ -173,11 +266,13 @@ TEST(DeadlockDetectorTest, TimeoutPolicyUnaffected) {
   o.timeout_us = 30'000;
   LockManager mgr(o);
   LockId a = LockId::Store(1);
-  ASSERT_TRUE(mgr.Lock(1, a, kX).ok());
-  Status st = mgr.Lock(2, a, kX);
+  TxnLockList h1 = mgr.Attach(1);
+  TxnLockList h2 = mgr.Attach(2);
+  ASSERT_TRUE(h1.Lock(a, kX).ok());
+  Status st = h2.Lock(a, kX);
   EXPECT_TRUE(st.IsDeadlock());
   EXPECT_EQ(mgr.stats().cycles_detected.load(), 0u);
-  ASSERT_TRUE(mgr.Unlock(1, a).ok());
+  h1.ReleaseAll();
 }
 
 }  // namespace

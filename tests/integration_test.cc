@@ -58,7 +58,7 @@ TEST(IntegrationTest, LockEscalationEndToEnd) {
   io::MemVolume volume;
   log::LogStorage wal;
   StorageOptions opts = StorageOptions::ForStage(Stage::kFinal);
-  opts.txn.escalation_threshold = 50;
+  opts.lock.escalation_threshold = 50;
   auto db = std::move(*StorageManager::Open(opts, &volume, &wal));
   auto* txn = db->Begin();
   auto table = db->CreateTable(txn, "bulk");
@@ -66,7 +66,7 @@ TEST(IntegrationTest, LockEscalationEndToEnd) {
   for (uint64_t k = 0; k < 200; ++k) {
     ASSERT_TRUE(db->Insert(txn, *table, k, Row("x")).ok());
   }
-  EXPECT_GE(db->txns()->stats().escalations.load(), 1u)
+  EXPECT_GE(db->locks()->stats().escalations.load(), 1u)
       << "200 row locks past a threshold of 50 must escalate";
   // After escalation the store lock blocks other writers entirely.
   ASSERT_TRUE(db->Commit(txn).ok());

@@ -8,6 +8,7 @@
 #include "lock/lock_manager.h"
 #include "lock/lock_mode.h"
 #include "lock/request_pool.h"
+#include "lock/txn_lock_list.h"
 
 namespace shoremt::lock {
 namespace {
@@ -77,6 +78,33 @@ TEST(RequestPoolTest, AcquireReleaseBothKinds) {
   }
 }
 
+TEST(TxnLockListTest, DetachedHandleRejectsRequests) {
+  TxnLockList detached;
+  EXPECT_FALSE(detached.attached());
+  EXPECT_EQ(detached.Lock(LockId::Store(1), kS).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(detached.LockRecord(1, RecordId{1, 0}, kX).code(),
+            StatusCode::kInvalidArgument);
+  detached.ReleaseAll();  // No-op, must not crash.
+}
+
+TEST(TxnLockListTest, MoveDetachesTheSource) {
+  LockOptions o;
+  o.timeout_us = 50'000;
+  LockManager mgr(o);
+  TxnLockList a = mgr.Attach(1);
+  ASSERT_TRUE(a.Lock(LockId::Store(1), kX).ok());
+  TxnLockList b = std::move(a);
+  EXPECT_FALSE(a.attached());
+  EXPECT_EQ(a.Lock(LockId::Store(2), kS).code(),
+            StatusCode::kInvalidArgument)
+      << "a moved-from handle must reject requests, not corrupt state";
+  EXPECT_TRUE(b.attached());
+  EXPECT_EQ(b.HeldMode(LockId::Store(1)), kX);
+  b.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+}
+
 LockOptions FastTimeout() {
   LockOptions o;
   o.timeout_us = 50'000;  // Keep deadlock tests quick.
@@ -88,73 +116,108 @@ class LockManagerTest : public ::testing::TestWithParam<bool> {
   LockManagerTest() : mgr_(MakeOptions()) {}
   LockOptions MakeOptions() {
     LockOptions o = FastTimeout();
-    o.per_bucket_latch = GetParam();
+    o.per_shard_latch = GetParam();
+    o.shards = 4;
     return o;
   }
   LockManager mgr_;
 };
 
-TEST_P(LockManagerTest, GrantAndRelease) {
+TEST_P(LockManagerTest, GrantAndBulkRelease) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
-  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  TxnLockList h = mgr_.Attach(1);
+  ASSERT_TRUE(h.Lock(id, kX).ok());
+  EXPECT_EQ(h.HeldMode(id), kX);
+  EXPECT_EQ(mgr_.HeldMode(1, id), kX) << "cache and table must agree";
   EXPECT_EQ(mgr_.LockedObjectCount(), 1u);
-  ASSERT_TRUE(mgr_.Unlock(1, id).ok());
+  h.ReleaseAll();
+  EXPECT_EQ(h.HeldMode(id), kNone);
   EXPECT_EQ(mgr_.HeldMode(1, id), kNone);
   EXPECT_EQ(mgr_.LockedObjectCount(), 0u);
-  EXPECT_TRUE(mgr_.Unlock(1, id).IsNotFound());
+  EXPECT_GE(mgr_.stats().bulk_releases.load(), 1u);
 }
 
 TEST_P(LockManagerTest, SharedLocksCoexist) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
-  ASSERT_TRUE(mgr_.Lock(2, id, kS).ok());
-  ASSERT_TRUE(mgr_.Lock(3, id, kIS).ok());
+  TxnLockList h1 = mgr_.Attach(1);
+  TxnLockList h2 = mgr_.Attach(2);
+  TxnLockList h3 = mgr_.Attach(3);
+  ASSERT_TRUE(h1.Lock(id, kS).ok());
+  ASSERT_TRUE(h2.Lock(id, kS).ok());
+  ASSERT_TRUE(h3.Lock(id, kIS).ok());
   EXPECT_EQ(mgr_.HeldMode(2, id), kS);
+  h1.ReleaseAll();
+  h2.ReleaseAll();
+  h3.ReleaseAll();
 }
 
 TEST_P(LockManagerTest, ConflictTimesOutAsDeadlock) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
-  Status st = mgr_.Lock(2, id, kS);
+  TxnLockList h1 = mgr_.Attach(1);
+  TxnLockList h2 = mgr_.Attach(2);
+  ASSERT_TRUE(h1.Lock(id, kX).ok());
+  Status st = h2.Lock(id, kS);
   EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
   EXPECT_EQ(mgr_.stats().timeouts.load(), 1u);
+  h1.ReleaseAll();
 }
 
-TEST_P(LockManagerTest, ReacquireIsNoop) {
+TEST_P(LockManagerTest, ReacquireServedFromCache) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());  // Weaker: already covered.
+  TxnLockList h = mgr_.Attach(1);
+  ASSERT_TRUE(h.Lock(id, kX).ok());
+  uint64_t acquired_before = mgr_.stats().acquired.load();
+  ASSERT_TRUE(h.Lock(id, kS).ok());  // Weaker: already covered.
+  ASSERT_TRUE(h.Lock(id, kX).ok());  // Equal: already covered.
+  EXPECT_EQ(h.cache_hits(), 2u) << "re-grants must not touch the table";
+  EXPECT_EQ(mgr_.stats().acquired.load(), acquired_before);
   EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  h.ReleaseAll();
 }
 
-TEST_P(LockManagerTest, UpgradeWhenAlone) {
+TEST_P(LockManagerTest, UpgradeAfterCachedWeakerMode) {
+  // Cache re-grant correctness: the upgrade must go to the shared table
+  // (it is NOT covered by the cached S), and afterwards both the cache
+  // and the table must report the stronger mode.
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
-  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
-  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  TxnLockList h = mgr_.Attach(1);
+  ASSERT_TRUE(h.Lock(id, kS).ok());
+  EXPECT_EQ(h.cache_hits(), 0u);
+  ASSERT_TRUE(h.Lock(id, kX).ok());  // Genuine upgrade: cache miss.
+  EXPECT_EQ(h.cache_hits(), 0u);
   EXPECT_GE(mgr_.stats().upgrades.load(), 1u);
+  EXPECT_EQ(h.HeldMode(id), kX);
+  EXPECT_EQ(mgr_.HeldMode(1, id), kX);
+  // And the now-cached X absorbs further re-requests of anything weaker.
+  ASSERT_TRUE(h.Lock(id, kS).ok());
+  EXPECT_EQ(h.cache_hits(), 1u);
+  h.ReleaseAll();
 }
 
 TEST_P(LockManagerTest, SIXComposition) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
-  ASSERT_TRUE(mgr_.Lock(1, id, kIX).ok());
+  TxnLockList h = mgr_.Attach(1);
+  ASSERT_TRUE(h.Lock(id, kS).ok());
+  ASSERT_TRUE(h.Lock(id, kIX).ok());
+  EXPECT_EQ(h.HeldMode(id), kSIX);
   EXPECT_EQ(mgr_.HeldMode(1, id), kSIX);
+  h.ReleaseAll();
 }
 
-TEST_P(LockManagerTest, WaiterGrantedAfterRelease) {
+TEST_P(LockManagerTest, WaiterGrantedAfterBulkRelease) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kX).ok());
+  TxnLockList h1 = mgr_.Attach(1);
+  ASSERT_TRUE(h1.Lock(id, kX).ok());
   std::atomic<bool> got{false};
   std::thread waiter([&] {
-    ASSERT_TRUE(mgr_.Lock(2, id, kX).ok());
+    TxnLockList h2 = mgr_.Attach(2);
+    ASSERT_TRUE(h2.Lock(id, kX).ok());
     got.store(true);
-    ASSERT_TRUE(mgr_.Unlock(2, id).ok());
+    h2.ReleaseAll();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   EXPECT_FALSE(got.load());
-  ASSERT_TRUE(mgr_.Unlock(1, id).ok());
+  h1.ReleaseAll();
   waiter.join();
   EXPECT_TRUE(got.load());
   EXPECT_GE(mgr_.stats().waits.load(), 1u);
@@ -162,23 +225,26 @@ TEST_P(LockManagerTest, WaiterGrantedAfterRelease) {
 
 TEST_P(LockManagerTest, FifoPreventsWriterStarvationByNewReaders) {
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
+  TxnLockList h1 = mgr_.Attach(1);
+  ASSERT_TRUE(h1.Lock(id, kS).ok());
   // Writer queues behind the reader.
   std::thread writer([&] {
-    ASSERT_TRUE(mgr_.Lock(2, id, kX).ok());
-    ASSERT_TRUE(mgr_.Unlock(2, id).ok());
+    TxnLockList h2 = mgr_.Attach(2);
+    ASSERT_TRUE(h2.Lock(id, kX).ok());
+    h2.ReleaseAll();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   // A new reader must queue behind the waiting writer (FIFO), not barge.
   std::atomic<bool> reader_done{false};
   std::thread reader([&] {
-    ASSERT_TRUE(mgr_.Lock(3, id, kS).ok());
+    TxnLockList h3 = mgr_.Attach(3);
+    ASSERT_TRUE(h3.Lock(id, kS).ok());
     reader_done.store(true);
-    ASSERT_TRUE(mgr_.Unlock(3, id).ok());
+    h3.ReleaseAll();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   EXPECT_FALSE(reader_done.load());
-  ASSERT_TRUE(mgr_.Unlock(1, id).ok());  // Writer goes, then reader.
+  h1.ReleaseAll();  // Writer goes, then reader.
   writer.join();
   reader.join();
   EXPECT_TRUE(reader_done.load());
@@ -188,20 +254,24 @@ TEST_P(LockManagerTest, UpgradeDeadlockResolvedByTimeout) {
   // Two readers both try to upgrade: classic unresolvable conflict; the
   // timeout must break it.
   LockId id = LockId::Store(1);
-  ASSERT_TRUE(mgr_.Lock(1, id, kS).ok());
-  ASSERT_TRUE(mgr_.Lock(2, id, kS).ok());
+  TxnLockList h1 = mgr_.Attach(1);
+  TxnLockList h2 = mgr_.Attach(2);
+  ASSERT_TRUE(h1.Lock(id, kS).ok());
+  ASSERT_TRUE(h2.Lock(id, kS).ok());
   std::atomic<int> deadlocks{0};
   std::thread t1([&] {
-    Status st = mgr_.Lock(1, id, kX);
+    Status st = h1.Lock(id, kX);
     if (st.IsDeadlock()) deadlocks.fetch_add(1);
   });
   std::thread t2([&] {
-    Status st = mgr_.Lock(2, id, kX);
+    Status st = h2.Lock(id, kX);
     if (st.IsDeadlock()) deadlocks.fetch_add(1);
   });
   t1.join();
   t2.join();
   EXPECT_GE(deadlocks.load(), 1);
+  h1.ReleaseAll();
+  h2.ReleaseAll();
 }
 
 TEST_P(LockManagerTest, HierarchicalWorkflowIntentThenRow) {
@@ -210,13 +280,18 @@ TEST_P(LockManagerTest, HierarchicalWorkflowIntentThenRow) {
   LockId store = LockId::Store(7);
   LockId row1 = LockId::Record(7, RecordId{5, 1});
   LockId row2 = LockId::Record(7, RecordId{5, 2});
-  ASSERT_TRUE(mgr_.Lock(1, store, kIX).ok());
-  ASSERT_TRUE(mgr_.Lock(1, row1, kX).ok());
+  TxnLockList h1 = mgr_.Attach(1);
+  TxnLockList h2 = mgr_.Attach(2);
+  TxnLockList h3 = mgr_.Attach(3);
+  ASSERT_TRUE(h1.Lock(store, kIX).ok());
+  ASSERT_TRUE(h1.Lock(row1, kX).ok());
   // Row-level reader on a different row proceeds.
-  ASSERT_TRUE(mgr_.Lock(2, store, kIS).ok());
-  ASSERT_TRUE(mgr_.Lock(2, row2, kS).ok());
+  ASSERT_TRUE(h2.Lock(store, kIS).ok());
+  ASSERT_TRUE(h2.Lock(row2, kS).ok());
   // Table scanner blocks (S vs IX) until writer finishes.
-  EXPECT_TRUE(mgr_.Lock(3, store, kS).IsDeadlock());  // Times out.
+  EXPECT_TRUE(h3.Lock(store, kS).IsDeadlock());  // Times out.
+  h1.ReleaseAll();
+  h2.ReleaseAll();
 }
 
 TEST_P(LockManagerTest, ConcurrentDisjointLocking) {
@@ -226,17 +301,14 @@ TEST_P(LockManagerTest, ConcurrentDisjointLocking) {
   std::atomic<int> failures{0};
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      TxnId txn = t + 1;
+      TxnLockList h = mgr_.Attach(t + 1);
       for (int i = 0; i < kRows; ++i) {
         LockId row = LockId::Record(1, RecordId{static_cast<PageNum>(t + 1),
                                                 static_cast<uint16_t>(i)});
-        if (!mgr_.Lock(txn, row, kX).ok()) failures.fetch_add(1);
+        if (!h.Lock(row, kX).ok()) failures.fetch_add(1);
       }
-      for (int i = 0; i < kRows; ++i) {
-        LockId row = LockId::Record(1, RecordId{static_cast<PageNum>(t + 1),
-                                                static_cast<uint16_t>(i)});
-        if (!mgr_.Unlock(txn, row).ok()) failures.fetch_add(1);
-      }
+      if (h.held() != kRows) failures.fetch_add(1);
+      h.ReleaseAll();
     });
   }
   for (auto& w : workers) w.join();
@@ -255,11 +327,13 @@ TEST_P(LockManagerTest, ContendedRowMutualExclusion) {
   std::atomic<int> errors{0};
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      TxnId txn = t + 1;
       for (int i = 0; i < kIters; ++i) {
-        // Retry on deadlock timeouts (heavy contention on 1 core).
+        // One short transaction per iteration; retry on deadlock
+        // timeouts (heavy contention on 1 core).
+        TxnLockList h =
+            mgr_.Attach(static_cast<TxnId>(t * 10'000 + i + 1));
         for (;;) {
-          Status st = mgr_.Lock(txn, row, kX);
+          Status st = h.Lock(row, kX);
           if (st.ok()) break;
           if (!st.IsDeadlock()) {
             errors.fetch_add(1);
@@ -267,7 +341,7 @@ TEST_P(LockManagerTest, ContendedRowMutualExclusion) {
           }
         }
         ++counter;
-        if (!mgr_.Unlock(txn, row).ok()) errors.fetch_add(1);
+        h.ReleaseAll();
       }
     });
   }
@@ -276,19 +350,177 @@ TEST_P(LockManagerTest, ContendedRowMutualExclusion) {
   EXPECT_EQ(counter, int64_t{kThreads} * kIters);
 }
 
+TEST_P(LockManagerTest, BulkReleaseWakesWaitersAcrossShards) {
+  // Bulk-release-vs-waiter-wakeup race: one transaction holds X rows
+  // spread over every shard while a waiter blocks on each; a single
+  // ReleaseAll must wake and grant all of them (no lost wakeup, no
+  // waiter left parked on a shard whose cv never fired).
+  constexpr int kRows = 8;
+  std::vector<LockId> rows;
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back(LockId::Record(1, RecordId{static_cast<PageNum>(i + 1),
+                                              static_cast<uint16_t>(i)}));
+  }
+  TxnLockList holder = mgr_.Attach(1);
+  for (const LockId& r : rows) ASSERT_TRUE(holder.Lock(r, kX).ok());
+  std::atomic<int> granted{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kRows; ++i) {
+    waiters.emplace_back([&, i] {
+      TxnLockList h = mgr_.Attach(static_cast<TxnId>(100 + i));
+      started.fetch_add(1);
+      if (h.Lock(rows[static_cast<size_t>(i)], kX).ok()) {
+        granted.fetch_add(1);
+      }
+      h.ReleaseAll();
+    });
+  }
+  while (started.load() < kRows) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  holder.ReleaseAll();  // One latch per touched shard; must wake everyone.
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(granted.load(), kRows);
+  EXPECT_EQ(mgr_.LockedObjectCount(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(LatchStrategies, LockManagerTest,
                          ::testing::Bool(),
                          [](const auto& info) {
-                           return info.param ? "PerBucket" : "GlobalMutex";
+                           return info.param ? "PerShard" : "GlobalMutex";
                          });
 
-TEST(LockManagerPoolTest, ExhaustedPoolReportsBusy) {
+// ------------------------------------------------------------ escalation --
+
+TEST(LockEscalationTest, EscalatesThroughCacheAfterThreshold) {
+  LockOptions o = FastTimeout();
+  o.escalation_threshold = 10;
+  LockManager mgr(o);
+  TxnLockList h = mgr.Attach(1);
+  for (uint16_t i = 0; i < 15; ++i) {
+    ASSERT_TRUE(h.LockRecord(1, RecordId{1, i}, kX).ok());
+  }
+  EXPECT_EQ(h.escalations(), 1u);
+  EXPECT_EQ(mgr.stats().escalations.load(), 1u);
+  EXPECT_EQ(mgr.HeldMode(1, LockId::Store(1)), kX)
+      << "store lock must be escalated in the shared table";
+  // Escalation-through-cache semantics: every row lock after the store
+  // escalation is served from the handle (no new table objects appear).
+  size_t objects = mgr.LockedObjectCount();
+  uint64_t hits = h.cache_hits();
+  for (uint16_t i = 15; i < 40; ++i) {
+    ASSERT_TRUE(h.LockRecord(1, RecordId{2, i}, kX).ok());
+  }
+  EXPECT_EQ(mgr.LockedObjectCount(), objects);
+  EXPECT_EQ(h.cache_hits(), hits + 25);
+  h.ReleaseAll();
+  EXPECT_EQ(mgr.LockedObjectCount(), 0u);
+}
+
+TEST(LockEscalationTest, WriteAfterReadEscalationUpgradesStoreLock) {
+  LockOptions o = FastTimeout();
+  o.escalation_threshold = 5;
+  LockManager mgr(o);
+  TxnLockList h = mgr.Attach(1);
+  for (uint16_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(h.LockRecord(1, RecordId{1, i}, kS).ok());
+  }
+  EXPECT_EQ(mgr.HeldMode(1, LockId::Store(1)), kS)
+      << "read workload escalates to store-S";
+  // A write after the read-escalation must strengthen the store lock —
+  // returning Ok under only store-S would let a concurrent reader be
+  // overwritten unseen.
+  ASSERT_TRUE(h.LockRecord(1, RecordId{2, 0}, kX).ok());
+  EXPECT_EQ(mgr.HeldMode(1, LockId::Store(1)), kX);
+  TxnLockList h2 = mgr.Attach(2);
+  EXPECT_TRUE(h2.LockRecord(1, RecordId{3, 0}, kS).IsDeadlock())
+      << "store-X must now exclude readers";
+  h.ReleaseAll();
+  h2.ReleaseAll();
+}
+
+TEST(LockEscalationTest, DeniedEscalationFallsBackToRowLocks) {
+  LockOptions o = FastTimeout();
+  o.escalation_threshold = 5;
+  LockManager mgr(o);
+  // Txn 2 holds one row in the store: txn 1's escalation to store-X is
+  // denied (IX vs X conflict) and it must keep taking row locks.
+  TxnLockList h2 = mgr.Attach(2);
+  ASSERT_TRUE(h2.LockRecord(1, RecordId{99, 0}, kX).ok());
+  TxnLockList h1 = mgr.Attach(1);
+  for (uint16_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(h1.LockRecord(1, RecordId{1, i}, kX).ok());
+  }
+  EXPECT_EQ(h1.escalations(), 0u);
+  EXPECT_EQ(mgr.HeldMode(1, LockId::Store(1)), kIX);
+  h1.ReleaseAll();
+  h2.ReleaseAll();
+}
+
+TEST(LockEscalationTest, IntentLocksServedFromCache) {
+  // The tentpole's common case: every row operation re-requests the
+  // volume and store intention locks; after the first row they must all
+  // be cache hits (2 per LockRecord).
+  LockManager mgr(FastTimeout());
+  TxnLockList h = mgr.Attach(1);
+  constexpr uint16_t kRows = 50;
+  for (uint16_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(h.LockRecord(1, RecordId{1, i}, kX).ok());
+  }
+  EXPECT_EQ(h.cache_hits(), uint64_t{2} * (kRows - 1));
+  EXPECT_EQ(h.waits(), 0u);
+  h.ReleaseAll();
+}
+
+// ------------------------------------------------------------- the pools --
+
+TEST(LockManagerPoolTest, ExhaustedPoolIsRecoverableResourceExhausted) {
   LockOptions o = FastTimeout();
   o.pool_capacity = 2;
+  o.shards = 1;
   LockManager mgr(o);
-  ASSERT_TRUE(mgr.Lock(1, LockId::Store(1), kS).ok());
-  ASSERT_TRUE(mgr.Lock(1, LockId::Store(2), kS).ok());
-  EXPECT_TRUE(mgr.Lock(1, LockId::Store(3), kS).IsBusy());
+  TxnLockList h = mgr.Attach(1);
+  ASSERT_TRUE(h.Lock(LockId::Store(1), kS).ok());
+  ASSERT_TRUE(h.Lock(LockId::Store(2), kS).ok());
+  Status st = h.Lock(LockId::Store(3), kS);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(mgr.LockedObjectCount(), 2u)
+      << "a failed fresh request must not leak an empty lock head";
+  // Recoverable: releasing (aborting) frees the slots and the same
+  // request then succeeds.
+  h.ReleaseAll();
+  TxnLockList retry = mgr.Attach(2);
+  EXPECT_TRUE(retry.Lock(LockId::Store(3), kS).ok());
+  retry.ReleaseAll();
+}
+
+TEST(LockManagerPoolTest, PoolsAreSizedAndDrainedPerShard) {
+  // Exhaustion is shard-local: draining one shard's pool must not affect
+  // locks that hash to a different shard.
+  LockOptions o = FastTimeout();
+  o.pool_capacity = 2;
+  o.shards = 4;
+  LockManager mgr(o);
+  // Find three store ids in one shard and one in a different shard.
+  std::vector<StoreId> same;
+  StoreId other = 0;
+  size_t target = mgr.ShardIndex(LockId::Store(1));
+  for (StoreId s = 1; s < 1000 && (same.size() < 3 || other == 0); ++s) {
+    if (mgr.ShardIndex(LockId::Store(s)) == target) {
+      if (same.size() < 3) same.push_back(s);
+    } else if (other == 0) {
+      other = s;
+    }
+  }
+  ASSERT_EQ(same.size(), 3u);
+  ASSERT_NE(other, 0u);
+  TxnLockList h = mgr.Attach(1);
+  ASSERT_TRUE(h.Lock(LockId::Store(same[0]), kS).ok());
+  ASSERT_TRUE(h.Lock(LockId::Store(same[1]), kS).ok());
+  EXPECT_TRUE(h.Lock(LockId::Store(same[2]), kS).IsResourceExhausted());
+  EXPECT_TRUE(h.Lock(LockId::Store(other), kS).ok())
+      << "a different shard's pool must be unaffected";
+  h.ReleaseAll();
 }
 
 TEST(LockManagerPoolTest, BothPoolKindsFunctionUnderLoad) {
@@ -301,15 +533,14 @@ TEST(LockManagerPoolTest, BothPoolKindsFunctionUnderLoad) {
     std::atomic<int> failures{0};
     for (int t = 0; t < 4; ++t) {
       workers.emplace_back([&, t] {
-        TxnId txn = t + 1;
         for (int i = 0; i < 300; ++i) {
+          TxnLockList h =
+              mgr.Attach(static_cast<TxnId>(t * 10'000 + i + 1));
           LockId id = LockId::Record(
               1, RecordId{static_cast<PageNum>(i % 7 + 1),
                           static_cast<uint16_t>(t)});
-          if (!mgr.Lock(txn, id, kS).ok() ||
-              !mgr.Unlock(txn, id).ok()) {
-            failures.fetch_add(1);
-          }
+          if (!h.Lock(id, kS).ok()) failures.fetch_add(1);
+          h.ReleaseAll();
         }
       });
     }

@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "io/volume.h"
 #include "lock/lock_manager.h"
+#include "lock/txn_lock_list.h"
 #include "log/log_manager.h"
 #include "log/log_record.h"
 #include "log/log_storage.h"
@@ -183,7 +184,7 @@ TEST_P(BTreeProperty, RandomOpsMatchReferenceMap) {
   auto root = btree::BTree::CreateRoot(&pool, &space, &log, &txns, setup, 1);
   ASSERT_TRUE(root.ok());
   ASSERT_TRUE(txns.Commit(setup).ok());
-  btree::BTree tree(&pool, &space, &log, &txns, &locks, 1, *root,
+  btree::BTree tree(&pool, &space, &log, &txns, 1, *root,
                     btree::BTreeOptions{});
 
   std::map<uint64_t, RecordId> model;
@@ -368,15 +369,22 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SpaceProperty, ::testing::Values(3, 33, 333));
 class LockProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LockProperty, GrantedSetsAlwaysPairwiseCompatible) {
-  // Single-threaded random lock/unlock traffic: after every operation the
-  // held modes recorded by our shadow model must match HeldMode, and all
-  // concurrently granted modes on one object must be pairwise compatible.
+  // Single-threaded random lock traffic through per-transaction handles:
+  // after every operation the held modes recorded by our shadow model
+  // must match both the handle cache and the shared table, and all
+  // concurrently granted modes on one object must be pairwise
+  // compatible. Release is all-or-nothing per transaction (strict 2PL
+  // bulk release — the only release the redesigned API has).
   Rng rng(GetParam());
   lock::LockOptions opts;
   opts.timeout_us = 1000;  // Conflicts fail fast in single-threaded use.
   lock::LockManager mgr(opts);
   constexpr int kTxns = 5;
   constexpr int kObjects = 6;
+  std::vector<lock::TxnLockList> handles;
+  for (int t = 0; t < kTxns; ++t) {
+    handles.push_back(mgr.Attach(static_cast<TxnId>(t + 1)));
+  }
   // model[obj][txn] = mode.
   std::map<int, std::map<TxnId, lock::LockMode>> model;
 
@@ -388,29 +396,38 @@ TEST_P(LockProperty, GrantedSetsAlwaysPairwiseCompatible) {
   };
 
   for (int op = 0; op < 5000; ++op) {
-    TxnId txn = 1 + rng.Uniform(kTxns);
+    size_t ti = rng.Uniform(kTxns);
+    TxnId txn = static_cast<TxnId>(ti + 1);
     int obj = static_cast<int>(rng.Uniform(kObjects));
     lock::LockId id = lock::LockId::Store(static_cast<StoreId>(obj + 1));
-    if (rng.Bernoulli(0.65)) {
+    if (rng.Bernoulli(0.8)) {
       auto mode = static_cast<lock::LockMode>(1 + rng.Uniform(5));
       lock::LockMode prior = model[obj].contains(txn) ? model[obj][txn]
                                                       : lock::LockMode::kNone;
       lock::LockMode target = lock::Supremum(prior, mode);
-      Status st = mgr.Lock(txn, id, mode);
-      if (compatible_with_all(obj, txn, target)) {
+      Status st = handles[ti].Lock(id, mode);
+      if (target == prior) {
+        // Covered by the cache: must succeed without touching the table.
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      } else if (compatible_with_all(obj, txn, target)) {
         ASSERT_TRUE(st.ok())
             << "obj " << obj << " txn " << txn << ": " << st.ToString();
         model[obj][txn] = target;
       } else {
         EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
       }
-    } else if (model[obj].contains(txn)) {
-      ASSERT_TRUE(mgr.Unlock(txn, id).ok());
-      model[obj].erase(txn);
+    } else {
+      // End of transaction: bulk-release everything it held and re-attach
+      // a fresh handle under the same id.
+      handles[ti].ReleaseAll();
+      for (auto& [o, held] : model) held.erase(txn);
+      handles[ti] = mgr.Attach(txn);
     }
-    EXPECT_EQ(mgr.HeldMode(txn, id),
-              model[obj].contains(txn) ? model[obj][txn]
-                                       : lock::LockMode::kNone);
+    lock::LockMode expect = model[obj].contains(txn) ? model[obj][txn]
+                                                     : lock::LockMode::kNone;
+    EXPECT_EQ(handles[ti].HeldMode(id), expect);
+    EXPECT_EQ(mgr.HeldMode(txn, id), expect)
+        << "handle cache and shared table must agree";
   }
 }
 

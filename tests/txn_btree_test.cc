@@ -49,7 +49,7 @@ class ComponentHarness {
                                          store);
     EXPECT_TRUE(root.ok());
     EXPECT_TRUE(txns_.Commit(txn).ok());
-    return btree::BTree(&pool_, &space_, &log_, &txns_, &locks_, store, *root,
+    return btree::BTree(&pool_, &space_, &log_, &txns_, store, *root,
                         btree::BTreeOptions{});
   }
 
@@ -356,16 +356,17 @@ TEST(TxnManagerTest, LockEscalationAfterThreshold) {
   io::MemVolume vol;
   log::LogStorage storage;
   log::LogManager log(&storage, log::LogOptions{});
-  lock::LockManager locks(lock::LockOptions{});
-  txn::TxnOptions opts;
-  opts.escalation_threshold = 10;
-  txn::TxnManager txns(&log, &locks, opts);
+  lock::LockOptions lock_opts;
+  lock_opts.escalation_threshold = 10;  // Escalation lives in the lock layer.
+  lock::LockManager locks(lock_opts);
+  txn::TxnManager txns(&log, &locks, txn::TxnOptions{});
   auto* txn = txns.Begin();
   for (uint16_t i = 0; i < 15; ++i) {
-    ASSERT_TRUE(
-        txns.LockRecord(txn, 1, RecordId{1, i}, lock::LockMode::kX).ok());
+    ASSERT_TRUE(txn->locks.LockRecord(1, RecordId{1, i},
+                                      lock::LockMode::kX).ok());
   }
-  EXPECT_EQ(txns.stats().escalations.load(), 1u);
+  EXPECT_EQ(locks.stats().escalations.load(), 1u);
+  EXPECT_EQ(txn->locks.escalations(), 1u);
   EXPECT_EQ(locks.HeldMode(txn->id, lock::LockId::Store(1)),
             lock::LockMode::kX);
   ASSERT_TRUE(txns.Commit(txn).ok());

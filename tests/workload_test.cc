@@ -156,6 +156,23 @@ TEST_F(TpccTest, PaymentMovesMoney) {
   ASSERT_TRUE(h_.session->Commit().ok());
 }
 
+TEST_F(TpccTest, IntentLocksServedFromPrivateCache) {
+  // TPC-C transactions touch several rows per table: every row after the
+  // first re-requests the same volume/store intention locks, which the
+  // transaction-private lock cache must absorb without touching the
+  // shared table (the ISSUE-3 acceptance check).
+  int committed = 0;
+  for (int i = 0; i < 10; ++i) {
+    committed += RunPayment(h_.session.get(), &db_, 1) ? 1 : 0;
+    committed += RunNewOrder(h_.session.get(), &db_, 1) ? 1 : 0;
+  }
+  ASSERT_GT(committed, 0);
+  h_.session->Harvest();
+  sm::SessionStats agg = h_.sm->harvested_session_stats();
+  EXPECT_GT(agg.lock_cache_hits, 0u)
+      << "intention re-grants must be served from the private cache";
+}
+
 TEST_F(TpccTest, NewOrderCreatesOrderAndLines) {
   int committed = 0;
   for (int i = 0; i < 10; ++i) {
