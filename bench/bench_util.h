@@ -6,10 +6,35 @@
 #include <string>
 #include <vector>
 
+#include "log/log_manager.h"
 #include "simcore/simulation.h"
 #include "workload/engine_profiles.h"
 
 namespace shoremt::bench {
+
+/// One-line dump of the kCArray consolidation counters — shared by every
+/// bench that surfaces them (fig4/fig5 async panels, abl_log_buffer) so
+/// the format and the avg-group math cannot drift between panels.
+/// `indent` is the leading label/whitespace.
+inline void PrintCArrayLogStats(const log::LogStats& s, const char* indent) {
+  uint64_t groups = s.carray_groups.load();
+  std::printf("%ssolo=%llu joins=%llu groups=%llu avg-group=%.2f "
+              "group-MB=%.2f wm-stalls=%llu "
+              "hist[1,2,3-4,5-8,9-16,>16]=",
+              indent, (unsigned long long)s.carray_solo_claims.load(),
+              (unsigned long long)s.carray_slot_joins.load(),
+              (unsigned long long)groups,
+              groups ? static_cast<double>(s.carray_group_records.load()) /
+                           static_cast<double>(groups)
+                     : 0.0,
+              s.carray_group_bytes.load() / 1e6,
+              (unsigned long long)s.carray_watermark_stalls.load());
+  for (int i = 0; i < 6; ++i) {
+    std::printf("%s%llu", i ? "/" : "",
+                (unsigned long long)s.carray_group_size_hist[i].load());
+  }
+  std::printf("\n");
+}
 
 /// SHOREMT_FULL=1 switches to full-resolution sweeps / longer windows.
 inline bool FullMode() {

@@ -70,6 +70,12 @@ void RunRealEnginePanel() {
                   async_commit ? "async" : "sync", c,
                   r.tps * cfg.records_per_commit, r.tps_per_thread,
                   stats.log_bytes / 1e6, flushes_per_commit);
+      if (async_commit) {
+        // Consolidation-array counters (final stage = kCArray buffer):
+        // how the contended inserts consolidated and how often the
+        // flusher stalled on the completion watermark.
+        bench::PrintCArrayLogStats(db->log()->stats(), "       log: ");
+      }
     }
   }
   std::printf("\n");

@@ -105,6 +105,11 @@ void RunRealEnginePanel() {
           (unsigned long long)(stats.lock_waits - base.lock_waits),
           (unsigned long long)(stats.lock_cache_hits - base.lock_cache_hits),
           flushes_per_txn, txns_per_batch);
+      if (mode == CommitMode::kAsync) {
+        // Consolidation-array counters from the log layer (final stage =
+        // kCArray buffer): insert consolidation + watermark stalls.
+        bench::PrintCArrayLogStats(ls, "       log: ");
+      }
     }
   }
   std::printf("expected: async commit amortizes device flushes across the "

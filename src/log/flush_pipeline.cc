@@ -48,6 +48,91 @@ void FlushPipeline::Submit(Lsn upto) {
   work_cv_.notify_one();
 }
 
+void FlushPipeline::OnDurable(Lsn upto, std::function<void(Status)> fn) {
+  if (!fn) return;
+  if (upto.IsNull() || IsDurable(upto)) {
+    fn(Status::Ok());
+    return;
+  }
+  bool fire_now = false;
+  Status fire_status;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!error_.ok()) {
+      // The pipeline is poisoned: this target can never become durable.
+      fire_now = true;
+      fire_status = error_;
+    } else if (IsDurable(upto)) {
+      // Became durable between the unlocked check and the lock.
+      fire_now = true;
+      fire_status = Status::Ok();
+    } else if (daemon_exited_) {
+      fire_now = true;
+      fire_status =
+          Status::Internal("flush pipeline stopped before LSN became durable");
+    } else {
+      callbacks_.emplace(upto.value, std::move(fn));
+      // The registration doubles as a flush submission: the daemon owes
+      // this target a batch even if nobody ever Waits on it. It is not a
+      // commit request though — pending_submits_ stays untouched so the
+      // transactions-per-flush stat is not double-counted when a commit
+      // is both submitted and callback-acknowledged.
+      requested_ = std::max(requested_, upto.value);
+    }
+  }
+  if (fire_now) {
+    fn(fire_status);
+    return;
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<std::pair<FlushPipeline::Callback, Status>>
+FlushPipeline::CollectDueCallbacksLocked(bool final_pass,
+                                         const Status& fallback) {
+  std::vector<std::pair<Callback, Status>> due;
+  uint64_t durable = buffer_->durable_lsn().value;
+  auto it = callbacks_.begin();
+  while (it != callbacks_.end()) {
+    if (it->first <= durable) {
+      due.emplace_back(std::move(it->second), Status::Ok());
+    } else if (!error_.ok()) {
+      // Sticky error: durability can never be promised again — every
+      // pending closure learns it now.
+      due.emplace_back(std::move(it->second), error_);
+    } else if (final_pass) {
+      due.emplace_back(std::move(it->second), fallback);
+    } else {
+      break;  // Keys ascend; nothing further is due.
+    }
+    it = callbacks_.erase(it);
+  }
+  return due;
+}
+
+void FlushPipeline::DispatchDue(std::unique_lock<std::mutex>& lk,
+                                bool final_pass, const Status& fallback) {
+  auto due = CollectDueCallbacksLocked(final_pass, fallback);
+  if (due.empty()) return;
+  lk.unlock();
+  for (auto& [fn, st] : due) fn(st);
+  lk.lock();
+}
+
+void FlushPipeline::NotifyDurableAdvanced() {
+  durable_cv_.notify_all();
+  // Callbacks satisfied by the synchronous flush are dispatched by the
+  // daemon (woken here), never on this caller's thread: the documented
+  // contract is one dispatching thread and ascending-LSN order, which
+  // concurrent Invoke loops would both break.
+  work_cv_.notify_one();
+}
+
+bool FlushPipeline::HasDueCallbacksLocked() const {
+  return !callbacks_.empty() &&
+         callbacks_.begin()->first <= buffer_->durable_lsn().value;
+}
+
 Status FlushPipeline::Wait(Lsn upto) {
   if (upto.IsNull()) return Status::Ok();
   if (IsDurable(upto)) {
@@ -87,21 +172,37 @@ void FlushPipeline::DaemonLoop() {
   while (!stop_) {
     if (idle_flush_interval_us_ > 0) {
       work_cv_.wait_for(lk, std::chrono::microseconds(idle_flush_interval_us_),
-                        [&] { return stop_ || HasWorkLocked(); });
+                        [&] {
+                          return stop_ || HasWorkLocked() ||
+                                 HasDueCallbacksLocked();
+                        });
     } else {
-      work_cv_.wait(lk, [&] { return stop_ || HasWorkLocked(); });
+      work_cv_.wait(lk, [&] {
+        return stop_ || HasWorkLocked() || HasDueCallbacksLocked();
+      });
     }
     if (stop_) break;
+    // Dispatch anything a synchronous flush already made durable before
+    // (and regardless of) running a batch of our own.
+    if (HasDueCallbacksLocked()) {
+      DispatchDue(lk, /*final_pass=*/false, Status::Ok());
+      if (stop_) break;
+    }
     if (!error_.ok()) {
       // The device already failed once; durability promises are off. Park
-      // until shutdown instead of hammering a broken device.
+      // until shutdown instead of hammering a broken device — but tell
+      // every registered durability closure first.
+      DispatchDue(lk, /*final_pass=*/false, error_);
       work_cv_.wait(lk, [&] { return stop_; });
       break;
     }
     uint64_t target = requested_;
     if (idle_flush_interval_us_ > 0) {
       // Periodic mode also drains unsubmitted appends (background flush).
-      target = std::max(target, buffer_->next_lsn().value);
+      // The target is the buffer's completion watermark, not its claim
+      // frontier: flushing to head would park the daemon behind in-flight
+      // copiers in an out-of-order-completion buffer.
+      target = std::max(target, buffer_->completed_lsn().value);
     }
     if (buffer_->durable_lsn().value >= target) continue;
     uint64_t batched = pending_submits_;
@@ -118,6 +219,9 @@ void FlushPipeline::DaemonLoop() {
       error_ = st;  // A failed batch acknowledged nothing: only the error.
     }
     durable_cv_.notify_all();
+    // Dispatch the durability callbacks this batch satisfied (or, on a
+    // failed batch, poison every pending one) without holding the lock.
+    DispatchDue(lk, /*final_pass=*/false, Status::Ok());
   }
   // Final drain: a clean shutdown must not lose submitted commits. An
   // abandoned pipeline (simulated crash) skips this on purpose.
@@ -131,6 +235,14 @@ void FlushPipeline::DaemonLoop() {
   }
   daemon_exited_ = true;
   durable_cv_.notify_all();
+  // Whatever remains fires now: Ok if the final drain covered it, the
+  // sticky/stop error otherwise — a registered closure never silently
+  // vanishes.
+  DispatchDue(lk, /*final_pass=*/true,
+              !error_.ok()
+                  ? error_
+                  : Status::Internal(
+                        "flush pipeline stopped before LSN became durable"));
 }
 
 }  // namespace shoremt::log

@@ -3,8 +3,12 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -49,24 +53,53 @@ class FlushPipeline {
   /// sticky error, or it shuts down. Submits `upto` itself if nobody has.
   Status Wait(Lsn upto);
 
+  /// Registers a closure the daemon invokes (exactly once, from its own
+  /// thread) when the durable LSN passes `upto`; fires inline — before
+  /// returning — if `upto` is already durable. Registration submits the
+  /// target like Submit(), so no companion flush request is needed. A
+  /// sticky pipeline error fires every pending closure with that error;
+  /// closures still pending at shutdown fire after the final drain (Ok if
+  /// the drain made them durable, the stop/drain error otherwise).
+  /// Closures must not block; they may re-enter the pipeline (e.g.
+  /// register another callback).
+  void OnDurable(Lsn upto, std::function<void(Status)> fn);
+
   /// True once every byte below `upto` has reached the log device.
   bool IsDurable(Lsn upto) const;
 
   /// The sticky error (Ok while the pipeline is healthy).
   Status error() const;
 
-  /// Wakes parked waiters to re-check the durable horizon. Called by the
+  /// Wakes parked waiters to re-check the durable horizon and dispatches
+  /// any durability callbacks the new horizon satisfies. Called by the
   /// synchronous flush paths (LogManager::FlushTo/FlushAll), which advance
   /// durability without going through the daemon.
-  void NotifyDurableAdvanced() { durable_cv_.notify_all(); }
+  void NotifyDurableAdvanced();
 
   /// Crash simulation: the destructor skips the final drain flush, so
   /// submitted-but-unflushed commit records are lost like on power-down.
   void Abandon();
 
  private:
+  using Callback = std::function<void(Status)>;
+
   void DaemonLoop();
   bool HasWorkLocked() const;
+  /// True when the durable horizon has passed the lowest registered
+  /// callback target (the daemon has dispatch work even with no flush
+  /// work — a synchronous FlushTo advanced durability behind its back).
+  bool HasDueCallbacksLocked() const;
+  /// Moves every callback the durable horizon (or a sticky error) has
+  /// satisfied out of callbacks_; the caller invokes them without the
+  /// lock. `final_pass` drains everything (shutdown), mapping still-
+  /// undurable targets to `fallback`.
+  std::vector<std::pair<Callback, Status>> CollectDueCallbacksLocked(
+      bool final_pass, const Status& fallback);
+  /// Collects due callbacks, drops the lock to invoke them, re-acquires.
+  /// The only dispatch entry point the daemon uses, so every path (batch,
+  /// error park, shutdown) shares one unlock discipline.
+  void DispatchDue(std::unique_lock<std::mutex>& lk, bool final_pass,
+                   const Status& fallback);
 
   LogBuffer* buffer_;
   LogStats* stats_;
@@ -77,6 +110,9 @@ class FlushPipeline {
   std::condition_variable durable_cv_;  ///< Waiters sleep here.
   uint64_t requested_ = 0;       ///< Highest submitted target LSN value.
   uint64_t pending_submits_ = 0; ///< Submits not yet covered by a batch.
+  /// Durability callbacks keyed by target LSN, fired as the durable
+  /// horizon passes them (ascending-LSN dispatch order).
+  std::multimap<uint64_t, Callback> callbacks_;
   Status error_;                 ///< Sticky; set by the first failed flush.
   bool stop_ = false;
   bool abandoned_ = false;

@@ -17,6 +17,8 @@
 
 namespace shoremt::log {
 
+struct LogStats;
+
 /// Which log buffer implementation to use — the §6.2.2/§6.2.4/§7.4 story:
 enum class LogBufferKind : uint8_t {
   /// Original Shore: one mutex over a non-circular buffer; a full buffer
@@ -28,8 +30,17 @@ enum class LogBufferKind : uint8_t {
   kDecoupled,
   /// Insert serialization reduced to claiming buffer space (an atomic
   /// hand-off, the moral equivalent of the extended MCS queue of §6.2.4);
-  /// threads copy their records in parallel after the claim.
+  /// threads copy their records in parallel after the claim, but publish
+  /// completion in LSN order — one slow copier stalls every successor.
   kConsolidated,
+  /// Consolidation-array buffer: threads that collide on the claim CAS
+  /// join an open group slot (atomically adding their sizes), one leader
+  /// claims the combined extent with a single CAS, and members copy their
+  /// sub-ranges in parallel. Completion is published OUT OF ORDER through
+  /// per-region completed-byte counters; the flusher advances a
+  /// contiguous watermark over fully-completed regions. No predecessor
+  /// spin, no global ordering point.
+  kCArray,
 };
 
 /// Outcome of appending one record.
@@ -57,6 +68,12 @@ class LogBuffer {
   Lsn durable_lsn() const { return Lsn{storage_->size() + 1}; }
   /// LSN the next append will receive.
   virtual Lsn next_lsn() const = 0;
+  /// Everything below this LSN has finished copying into the buffer and
+  /// can be flushed without waiting on in-flight appenders — the natural
+  /// background-flush target. Buffers whose copies complete in claim
+  /// order report next_lsn(); the consolidation-array buffer advances and
+  /// reports its completion watermark.
+  virtual Lsn completed_lsn() { return next_lsn(); }
 
   LogStorage* storage() { return storage_; }
 
@@ -65,9 +82,15 @@ class LogBuffer {
   LogStorage* storage_;
 };
 
+/// `stats` (optional) receives the consolidation counters of the kCArray
+/// buffer (group sizes, slot joins vs solo claims, watermark stalls); the
+/// other kinds ignore it. `force_consolidation` is the
+/// LogOptions::carray_force_consolidation test hook.
 std::unique_ptr<LogBuffer> MakeLogBuffer(LogBufferKind kind,
                                          LogStorage* storage,
-                                         size_t capacity);
+                                         size_t capacity,
+                                         LogStats* stats = nullptr,
+                                         bool force_consolidation = false);
 
 }  // namespace shoremt::log
 

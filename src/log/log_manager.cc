@@ -8,10 +8,12 @@
 namespace shoremt::log {
 
 LogManager::LogManager(LogStorage* storage, LogOptions options)
-    : storage_(storage),
-      options_(options),
-      buffer_(MakeLogBuffer(options.buffer_kind, storage,
-                            options.buffer_capacity)) {
+    : storage_(storage), options_(options) {
+  // Assigned in the body so stats_ is fully constructed before the buffer
+  // (which publishes consolidation counters into it) exists.
+  buffer_ = MakeLogBuffer(options_.buffer_kind, storage_,
+                          options_.buffer_capacity, &stats_,
+                          options_.carray_force_consolidation);
   pipeline_ = std::make_unique<FlushPipeline>(
       buffer_.get(), &stats_,
       options_.flush_daemon ? options_.flush_interval_us : 0);
@@ -55,6 +57,10 @@ Status LogManager::FlushAll() {
 void LogManager::SubmitFlush(Lsn upto) { pipeline_->Submit(upto); }
 
 Status LogManager::WaitDurable(Lsn upto) { return pipeline_->Wait(upto); }
+
+void LogManager::OnDurable(Lsn upto, std::function<void(Status)> fn) {
+  pipeline_->OnDurable(upto, std::move(fn));
+}
 
 bool LogManager::IsDurable(Lsn upto) const {
   return buffer_->durable_lsn() >= upto;

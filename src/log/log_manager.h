@@ -18,7 +18,7 @@ class FlushPipeline;
 
 /// Log manager configuration; defaults = Shore-MT "final".
 struct LogOptions {
-  LogBufferKind buffer_kind = LogBufferKind::kConsolidated;
+  LogBufferKind buffer_kind = LogBufferKind::kCArray;
   size_t buffer_capacity = 1 << 22;  // 4 MiB ring.
   /// Periodic background flushing of *everything* appended so far, on top
   /// of the always-on submission-driven group-commit pipeline. Off by
@@ -26,6 +26,13 @@ struct LogOptions {
   /// drive durability explicitly through Submit/Wait/FlushTo.
   bool flush_daemon = false;
   uint64_t flush_interval_us = 1000;
+  /// TEST HOOK (kCArray only): route every append through the
+  /// consolidation slots instead of the solo fast path. On hosts with few
+  /// hardware contexts the solo claim CAS almost never fails, so group
+  /// formation would otherwise go unexercised; forcing it makes the
+  /// leader/member protocol (join accounting, base hand-off, group-claim
+  /// flush, error propagation) deterministic to test.
+  bool carray_force_consolidation = false;
 };
 
 /// Per-manager counters.
@@ -44,6 +51,30 @@ struct LogStats {
   /// Commit requests amortized into those batches; group_batch_txns /
   /// group_batches = transactions per flush.
   std::atomic<uint64_t> group_batch_txns{0};
+
+  // --- consolidation-array counters (kCArray buffer only) -----------------
+  // The hot two (solo claims / slot joins) sit on their own cache lines:
+  // every append bumps exactly one of them, and sharing a line with the
+  // flush-side counters would re-introduce the shared-counter serialization
+  // these buffers exist to remove (§5).
+
+  /// Combined-extent claims performed by group leaders.
+  std::atomic<uint64_t> carray_groups{0};
+  /// Records carried by those groups (leader + members); divide by
+  /// carray_groups for the mean group size.
+  std::atomic<uint64_t> carray_group_records{0};
+  /// Bytes claimed through group extents.
+  std::atomic<uint64_t> carray_group_bytes{0};
+  /// Group-size histogram: buckets 1, 2, 3-4, 5-8, 9-16, >16 members.
+  std::atomic<uint64_t> carray_group_size_hist[6] = {};
+  /// Appends that joined an open consolidation slot as a member.
+  alignas(64) std::atomic<uint64_t> carray_slot_joins{0};
+  /// Appends that claimed buffer space alone (fast path or solo retry).
+  alignas(64) std::atomic<uint64_t> carray_solo_claims{0};
+  /// Times the flusher (or a ring-full appender) found every completed
+  /// byte already durable and had to wait for in-flight copiers to
+  /// publish more regions before the watermark could advance.
+  alignas(64) std::atomic<uint64_t> carray_watermark_stalls{0};
 };
 
 /// The log manager (§2.2.4): serializes WAL records into the staging
@@ -81,6 +112,14 @@ class LogManager {
   /// Blocks until everything below `upto` is durable or the pipeline
   /// carries a sticky error.
   Status WaitDurable(Lsn upto);
+  /// Registers a closure invoked once when the durable LSN passes `upto`
+  /// — from the flush daemon's thread as its batches advance durability,
+  /// or inline (before returning) if `upto` is already durable. The
+  /// target is submitted to the daemon like SubmitFlush. A sticky
+  /// pipeline error fires every pending closure with that error; closures
+  /// still pending at shutdown fire after the final drain (Ok if it made
+  /// them durable, the drain/stop error otherwise).
+  void OnDurable(Lsn upto, std::function<void(Status)> fn);
   /// True once every byte below `upto` has reached the log device.
   bool IsDurable(Lsn upto) const;
   /// The pipeline's sticky flush error (Ok while healthy). A failed

@@ -8,6 +8,11 @@
 namespace shoremt::log {
 
 Status LogStorage::Append(std::span<const uint8_t> data) {
+  std::span<const uint8_t> parts[1] = {data};
+  return AppendV(parts);
+}
+
+Status LogStorage::AppendV(std::span<const std::span<const uint8_t>> parts) {
   if (fail_appends_.load(std::memory_order_acquire)) {
     return Status::IOError("log device failure (injected)");
   }
@@ -23,7 +28,9 @@ Status LogStorage::Append(std::span<const uint8_t> data) {
     }
   }
   std::lock_guard<std::mutex> guard(mutex_);
-  bytes_.insert(bytes_.end(), data.begin(), data.end());
+  for (std::span<const uint8_t> part : parts) {
+    bytes_.insert(bytes_.end(), part.begin(), part.end());
+  }
   size_.store(bytes_.size(), std::memory_order_release);
   return Status::Ok();
 }

@@ -32,6 +32,13 @@ class LogStorage {
   /// flusher guarantees this).
   Status Append(std::span<const uint8_t> data);
 
+  /// Gather append: writes `parts` back to back as ONE device call (one
+  /// latency charge, one flush_calls tick). This is the zero-copy drain
+  /// path — ring buffers hand their (up to two, on wrap) live segments
+  /// straight to the device instead of staging them through a scratch
+  /// copy. Same LSN-order contract as Append.
+  Status AppendV(std::span<const std::span<const uint8_t>> parts);
+
   /// Bytes durably stored; durable LSN = size() + 1.
   uint64_t size() const { return size_.load(std::memory_order_acquire); }
 

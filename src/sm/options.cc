@@ -59,9 +59,11 @@ StorageOptions StorageOptions::ForStage(Stage stage) {
   o.space.last_page_cache = true;
   if (stage == Stage::kBufferPool2) return o;
 
-  // §7.7 "final": consolidated log inserts, checkpoints decoupled via the
-  // page cleaner, redundant B+Tree probe lock search removed.
-  o.log.buffer_kind = log::LogBufferKind::kConsolidated;
+  // §7.7 "final": consolidated log inserts — taken one step past the
+  // paper to the consolidation-array buffer (group claims + out-of-order
+  // completion publication), checkpoints decoupled via the page cleaner,
+  // redundant B+Tree probe lock search removed.
+  o.log.buffer_kind = log::LogBufferKind::kCArray;
   o.btree.probe_lock_table = false;
   o.decoupled_checkpoint = true;
   return o;

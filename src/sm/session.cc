@@ -110,6 +110,12 @@ bool Session::PollAcks() {
   return !sm_->log()->pipeline_error().ok();
 }
 
+void Session::OnDurable(Lsn lsn, std::function<void(Status)> fn) {
+  if (!fn) return;  // Nothing registers; nothing to count.
+  ++stats_.durability_callbacks;
+  sm_->log()->OnDurable(lsn, std::move(fn));
+}
+
 Status Session::WaitAll() {
   if (pending_ack_lsn_.IsNull()) return Status::Ok();
   Lsn target = pending_ack_lsn_;

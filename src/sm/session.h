@@ -2,6 +2,7 @@
 #define SHOREMT_SM_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -117,6 +118,17 @@ class Session {
   /// (polling can never succeed) but leaves the watermark set — call
   /// WaitAll(), which returns immediately, to observe the error.
   bool PollAcks();
+  /// Registered durability callback — the push-style third option next to
+  /// Wait (park) and PollAcks/TryWait (poll): `fn` is invoked exactly
+  /// once when the durable LSN passes `lsn` (e.g. a CommitToken's lsn),
+  /// FROM THE FLUSH DAEMON'S THREAD — or inline, before this returns, if
+  /// `lsn` is already durable. The closure receives Ok on durability and
+  /// the pipeline's sticky error if the log device failed first; it must
+  /// not block and must not touch this (single-threaded) Session.
+  /// Registration submits the flush target itself; it does not change the
+  /// session's pending-ack watermark, so Wait/WaitAll/PollAcks semantics
+  /// are unaffected.
+  void OnDurable(Lsn lsn, std::function<void(Status)> fn);
   /// Aborts the open transaction, rolling back through the WAL chain.
   Status Abort();
   bool InTransaction() const { return txn_ != nullptr; }

@@ -40,6 +40,8 @@ struct SessionStats {
   /// Durability checks that found the group flush already past the commit
   /// LSN — the per-transaction flush waits the pipeline eliminated.
   uint64_t commit_waits_avoided = 0;
+  /// Durability closures registered through Session::OnDurable.
+  uint64_t durability_callbacks = 0;
 
   /// Total row operations (the "ops" a workload reports).
   uint64_t ops() const {
@@ -63,6 +65,7 @@ struct SessionStats {
     async_commits += o.async_commits;
     commit_waits += o.commit_waits;
     commit_waits_avoided += o.commit_waits_avoided;
+    durability_callbacks += o.durability_callbacks;
   }
 };
 
@@ -89,6 +92,8 @@ class SessionStatsAggregate {
     commit_waits_.fetch_add(s.commit_waits, std::memory_order_relaxed);
     commit_waits_avoided_.fetch_add(s.commit_waits_avoided,
                                     std::memory_order_relaxed);
+    durability_callbacks_.fetch_add(s.durability_callbacks,
+                                    std::memory_order_relaxed);
   }
 
   SessionStats Snapshot() const {
@@ -110,6 +115,8 @@ class SessionStatsAggregate {
     s.commit_waits = commit_waits_.load(std::memory_order_relaxed);
     s.commit_waits_avoided =
         commit_waits_avoided_.load(std::memory_order_relaxed);
+    s.durability_callbacks =
+        durability_callbacks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -130,6 +137,7 @@ class SessionStatsAggregate {
   std::atomic<uint64_t> async_commits_{0};
   std::atomic<uint64_t> commit_waits_{0};
   std::atomic<uint64_t> commit_waits_avoided_{0};
+  std::atomic<uint64_t> durability_callbacks_{0};
 };
 
 }  // namespace shoremt::sm

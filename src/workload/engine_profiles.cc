@@ -224,6 +224,9 @@ WorkloadModel InsertMicroModel(EngineKind engine, sm::Stage stage,
     if (o.log.buffer_kind == log::LogBufferKind::kConsolidated) {
       cs = c.log_cs_consolidated;
     }
+    if (o.log.buffer_kind == log::LogBufferKind::kCArray) {
+      cs = c.log_cs_carray;
+    }
     SimLockType t = o.log.buffer_kind == log::LogBufferKind::kMutex
                         ? SimLockType::kBlocking
                         : SimLockType::kMcs;

@@ -26,6 +26,9 @@ struct Calibration {
   uint64_t log_cs_mutex = 2200;       ///< Mutex log buffer insert CS.
   uint64_t log_cs_decoupled = 400;    ///< Decoupled circular buffer CS.
   uint64_t log_cs_consolidated = 150; ///< Claim-only insert CS.
+  /// Consolidation-array buffer: colliders share one claim CAS and
+  /// completion publication leaves the serialized path entirely.
+  uint64_t log_cs_carray = 100;
   uint64_t lock_cs = 450;             ///< Lock manager CS, per acquire.
   int lock_acquires = 2;              ///< Lock manager CSs per insert.
   uint64_t commit_flush_ns = 60000;   ///< Log flush (in-memory log fs).

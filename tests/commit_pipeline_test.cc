@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -401,6 +402,67 @@ TEST(CommitPipelineTest, BlockingCommitStillRidesThePipeline) {
   EXPECT_LT(wal.flush_calls() - flushes_before,
             uint64_t{kThreads} * kCommitsPerThread);
   EXPECT_GT(db->log()->stats().group_batches.load(), 0u);
+}
+
+TEST(CommitPipelineTest, OnDurableCallbackAcknowledgesAsyncCommit) {
+  // The registered-callback third option next to Wait (park) and
+  // TryWait/PollAcks (poll): the flush daemon invokes the closure as its
+  // durable horizon passes the commit LSN.
+  Harness h;
+  auto session = h.sm->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  auto table = session->CreateTable("t");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session->Insert(*table, 1, Row("v")).ok());
+  auto token = session->CommitAsync();
+  ASSERT_TRUE(token.ok());
+  std::atomic<int> fired{0};
+  Status seen = Status::Internal("never invoked");
+  session->OnDurable(token->lsn, [&](Status st) {
+    seen = st;
+    fired.fetch_add(1, std::memory_order_release);
+  });
+  for (int i = 0; i < 2000 && fired.load(std::memory_order_acquire) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fired.load(), 1);
+  EXPECT_TRUE(seen.ok()) << seen.ToString();
+  EXPECT_TRUE(h.sm->log()->IsDurable(token->lsn));
+  // The callback did not consume the session's pending-ack watermark:
+  // Wait/WaitAll semantics are unchanged.
+  ASSERT_TRUE(session->WaitAll().ok());
+  EXPECT_EQ(session->stats().durability_callbacks, 1u);
+}
+
+TEST(CommitPipelineTest, OnDurableCallbackSeesStickyPipelineError) {
+  Harness h;
+  auto session = h.sm->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  auto table = session->CreateTable("t");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  h.log.set_fail_appends(true);
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(*table, 1, Row("doomed")).ok());
+  auto token = session->CommitAsync();
+  ASSERT_TRUE(token.ok());
+  std::atomic<int> fired{0};
+  Status seen;
+  session->OnDurable(token->lsn, [&](Status st) {
+    seen = st;
+    fired.fetch_add(1, std::memory_order_release);
+  });
+  for (int i = 0; i < 2000 && fired.load(std::memory_order_acquire) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fired.load(), 1);
+  EXPECT_EQ(seen.code(), StatusCode::kIOError)
+      << "pending closures learn the sticky error";
+  h.log.set_fail_appends(false);
+  h.sm->SimulateCrash();  // Skip the shutdown flush of the poisoned log.
 }
 
 }  // namespace
