@@ -1,0 +1,164 @@
+/// Ablation C: bounded-log endurance — the page-cleaner / checkpoint /
+/// log-recycling loop (real engine).
+///
+/// Sustained single-row insert transactions (async commit) over a log
+/// with SMALL segments, a background checkpoint daemon, and the page
+/// cleaner toggled on/off:
+///
+///   cleaner OFF  dirty pages pin the redo low-water mark, checkpoints
+///                cannot recycle, live segments grow with the run;
+///   cleaner ON   write-back advances the low-water mark, checkpoints
+///                recycle behind the workload, live segments stay bounded
+///                at the pressure threshold.
+///
+/// After each window the engine crashes (SimulateCrash) and reopens, so
+/// the sweep also measures the recovery bound the loop buys: with the
+/// cleaner on, redo scans only the tail above the last checkpoint's
+/// low-water mark (redo_scan_bytes ≪ total log bytes).
+///
+/// Every data point is emitted as a machine-readable JSON line (cleaner,
+/// producers, inserts/s, p99 insert ns, live/allocated/recycled segment
+/// counts, recycle rate, redo-scan bytes) so endurance sweeps can be
+/// diffed across revisions.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "io/volume.h"
+#include "log/log_storage.h"
+#include "sm/session.h"
+#include "sm/storage_manager.h"
+#include "workload/driver.h"
+
+using namespace shoremt;
+
+namespace {
+
+constexpr size_t kSegmentBytes = 32 << 10;
+
+void RunVariant(bool cleaner, int producers) {
+  io::MemVolume volume;
+  log::LogStorage wal(/*append_latency_ns=*/0, kSegmentBytes);
+  sm::StorageOptions opts =
+      sm::StorageOptions::ForStage(sm::Stage::kFinal);
+  opts.log.segment_bytes = kSegmentBytes;
+  opts.log.recycle_pressure_segments = 4;
+  opts.buffer.enable_cleaner = cleaner;
+  opts.buffer.cleaner_interval_us = 1000;
+  opts.buffer.cleaner_batch = 64;
+  opts.checkpoint_daemon = true;
+  opts.checkpoint_interval_ms = 20;
+  uint64_t window_ms = bench::FullMode() ? 2000 : 400;
+
+  double inserts_per_s = 0;
+  uint64_t p99_ns = 0;
+  uint64_t live = 0, allocated = 0, recycled = 0, checkpoints = 0,
+           cleaner_wb = 0;
+  {
+    auto opened = sm::StorageManager::Open(opts, &volume, &wal);
+    if (!opened.ok()) return;
+    auto& db = *opened;
+    // One session + private table per producer (the paper's record-insert
+    // shape: no logical contention, pure engine stress).
+    std::vector<std::unique_ptr<sm::Session>> sessions;
+    std::vector<sm::TableInfo> tables;
+    std::vector<uint64_t> next_key(static_cast<size_t>(producers), 0);
+    for (int i = 0; i < producers; ++i) {
+      sessions.push_back(db->OpenSession());
+      sm::Session* s = sessions.back().get();
+      if (!s->Begin().ok()) return;
+      auto table = s->CreateTable("t" + std::to_string(i));
+      if (!table.ok() || !s->Commit().ok()) return;
+      tables.push_back(*table);
+    }
+    std::vector<uint8_t> payload(100, 0xab);
+    auto result = workload::RunDriver(
+        producers, /*warmup_ms=*/window_ms / 5, window_ms,
+        [&](int w, Rng&) {
+          sm::Op op;
+          op.type = sm::OpType::kInsert;
+          op.key = ++next_key[static_cast<size_t>(w)];
+          op.payload = payload;
+          // One insert per transaction, async commit: the p99 txn latency
+          // IS the p99 insert latency, with durability off the critical
+          // path (the regime where cleaner interference would show).
+          return sessions[w]->ApplyAsync(tables[static_cast<size_t>(w)],
+                                         {&op, 1}).ok();
+        },
+        [&](int w) { (void)sessions[w]->WaitAll(); });
+    inserts_per_s = result.tps;
+    p99_ns = result.latency.Percentile(0.99);
+    const log::LogStats& ls = db->log()->stats();
+    live = db->log()->live_segments();
+    allocated = ls.segments_allocated.load();
+    recycled = ls.segments_recycled.load();
+    checkpoints = ls.checkpoint_count.load();
+    cleaner_wb = ls.cleaner_writebacks.load();
+    bench::PrintLogLifecycleStats(db->log(), "    ");
+    sessions.clear();
+    db->SimulateCrash();
+  }
+
+  // Crash + reopen: how much log does recovery actually scan?
+  uint64_t t0 = NowNanos();
+  uint64_t redo_scan = 0;
+  {
+    auto reopened = sm::StorageManager::Open(opts, &volume, &wal);
+    if (!reopened.ok()) {
+      std::printf("    recovery FAILED: %s\n",
+                  reopened.status().ToString().c_str());
+      return;
+    }
+    redo_scan = (*reopened)->log()->stats().redo_scan_bytes.load();
+    (*reopened)->SimulateCrash();  // Keep the artifact for nothing further.
+  }
+  double recover_ms = static_cast<double>(NowNanos() - t0) / 1e6;
+  double seconds = static_cast<double>(window_ms) / 1000.0;
+
+  std::printf("cleaner=%-3s producers=%d  inserts/s=%9.0f  p99-insert=%6llu ns"
+              "  live-segs=%llu  recycled=%llu  redo-scan=%llu/%llu B  "
+              "recover=%.1f ms\n",
+              cleaner ? "on" : "off", producers, inserts_per_s,
+              (unsigned long long)p99_ns, (unsigned long long)live,
+              (unsigned long long)recycled, (unsigned long long)redo_scan,
+              (unsigned long long)wal.size(), recover_ms);
+  std::printf("JSON {\"bench\":\"abl_cleaner\",\"cleaner\":%d,"
+              "\"producers\":%d,\"inserts_per_s\":%.0f,"
+              "\"p99_insert_ns\":%llu,\"segments_live\":%llu,"
+              "\"segments_allocated\":%llu,\"segments_recycled\":%llu,"
+              "\"recycles_per_s\":%.1f,\"checkpoints\":%llu,"
+              "\"cleaner_writebacks\":%llu,\"redo_scan_bytes\":%llu,"
+              "\"log_bytes_total\":%llu,\"recover_ms\":%.1f}\n",
+              cleaner ? 1 : 0, producers, inserts_per_s,
+              (unsigned long long)p99_ns, (unsigned long long)live,
+              (unsigned long long)allocated, (unsigned long long)recycled,
+              static_cast<double>(recycled) / seconds,
+              (unsigned long long)checkpoints,
+              (unsigned long long)cleaner_wb, (unsigned long long)redo_scan,
+              (unsigned long long)wal.size(), recover_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation C: bounded-log endurance — cleaner / checkpoint "
+              "/ recycle loop (real engine, this machine) ===\n\n");
+  std::printf("segments=%zu B, checkpoint daemon every 20 ms, pressure "
+              "threshold 4 live segments.\n\n",
+              kSegmentBytes);
+  for (int producers : {1, 2, 4}) {
+    for (bool cleaner : {false, true}) {
+      RunVariant(cleaner, producers);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected: with the cleaner ON the live segment count stays "
+              "near the pressure\nthreshold while recycled grows with the "
+              "run, and redo-scan bytes stay a small\nfraction of total log "
+              "bytes; OFF, dirty pages pin the low-water mark, segments\n"
+              "accumulate, and recovery scans (nearly) everything.\n");
+  return 0;
+}

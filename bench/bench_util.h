@@ -36,6 +36,22 @@ inline void PrintCArrayLogStats(const log::LogStats& s, const char* indent) {
   std::printf("\n");
 }
 
+/// One-line dump of the log-lifecycle counters (segmented log + cleaner +
+/// checkpoint loop): segment churn, live count, checkpoints, cleaner
+/// write-backs and the redo window recovery actually scanned. Shared by
+/// the fig5 async panel and the abl_cleaner endurance sweep.
+inline void PrintLogLifecycleStats(log::LogManager* mgr, const char* indent) {
+  const log::LogStats& s = mgr->stats();
+  std::printf("%ssegments: alloc=%llu recycled=%llu live=%zu  ckpts=%llu  "
+              "cleaner-wb=%llu  redo-scan-B=%llu\n",
+              indent, (unsigned long long)s.segments_allocated.load(),
+              (unsigned long long)s.segments_recycled.load(),
+              mgr->live_segments(),
+              (unsigned long long)s.checkpoint_count.load(),
+              (unsigned long long)s.cleaner_writebacks.load(),
+              (unsigned long long)s.redo_scan_bytes.load());
+}
+
 /// SHOREMT_FULL=1 switches to full-resolution sweeps / longer windows.
 inline bool FullMode() {
   const char* v = std::getenv("SHOREMT_FULL");

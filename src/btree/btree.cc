@@ -30,7 +30,7 @@ Status BTree::LogAndMark(txn::Transaction* txn, PageHandle* handle,
   }
   SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
   if (txn != nullptr) txns_->NoteLogged(txn, a.lsn, a.end);
-  handle->MarkDirty(a.end);
+  handle->MarkDirty(a.end, a.lsn);
   return Status::Ok();
 }
 
@@ -54,7 +54,7 @@ Result<PageNum> BTree::CreateRoot(buffer::BufferPool* pool,
     }
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log->Append(rec));
     if (txn != nullptr) txns->NoteLogged(txn, a.lsn, a.end);
-    h.MarkDirty(a.end);
+    h.MarkDirty(a.end, a.lsn);
     root_page = page;
     return Status::Ok();
   };

@@ -25,13 +25,18 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 uint8_t* PageHandle::data() { return pool_->FrameData(frame_); }
 const uint8_t* PageHandle::data() const { return pool_->FrameData(frame_); }
 
-void PageHandle::MarkDirty(Lsn lsn) {
+void PageHandle::MarkDirty(Lsn page_lsn, Lsn rec_lsn) {
   Frame& f = pool_->frames_[frame_];
-  page::HeaderOf(pool_->FrameData(frame_))->page_lsn = lsn.value;
+  page::HeaderOf(pool_->FrameData(frame_))->page_lsn = page_lsn.value;
   f.dirty.store(true, std::memory_order_release);
   uint64_t expected = 0;
-  f.rec_lsn.compare_exchange_strong(expected, lsn.value,
-                                    std::memory_order_acq_rel);
+  if (f.rec_lsn.compare_exchange_strong(expected, rec_lsn.value,
+                                        std::memory_order_acq_rel)) {
+    // Clean→dirty transition (once per dirty lifecycle, not per update):
+    // register in the dirty-page table so the incremental min and the
+    // cleaner's work list see this page.
+    pool_->NoteFirstDirty(page_, rec_lsn.value);
+  }
 }
 
 void PageHandle::DowngradeLatch() {
@@ -61,20 +66,42 @@ BufferPool::BufferPool(io::Volume* volume, BufferPoolOptions options,
   sync::SyncStatsRegistry::Instance().Register(&clock_stats_);
   for (uint32_t i = 0; i < options.frame_count; ++i) free_frames_.Push(i);
   if (options_.enable_cleaner) {
-    cleaner_ = std::thread([this] {
-      while (!stop_cleaner_.load(std::memory_order_acquire)) {
-        (void)CleanerSweep();
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.cleaner_interval_us));
-      }
-    });
+    // The background cleaner: woken by the interval tick, by MarkDirty's
+    // dirty-ratio trigger, or by WakeCleaner() (log-segment pressure
+    // from the flush pipeline); each wake-up runs one incremental pass
+    // over the oldest dirty pages — never a busy-wait, never a
+    // pool-wide stall.
+    cleaner_daemon_.Start(
+        std::chrono::microseconds(options_.cleaner_interval_us),
+        [this] { (void)CleanerPass(options_.cleaner_batch); });
   }
 }
 
 BufferPool::~BufferPool() {
-  stop_cleaner_.store(true, std::memory_order_release);
-  if (cleaner_.joinable()) cleaner_.join();
+  cleaner_daemon_.Stop();
   sync::SyncStatsRegistry::Instance().Unregister(&clock_stats_);
+}
+
+void BufferPool::SetLsnProvider(LsnProviderFn provider) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  lsn_provider_ = std::move(provider);
+}
+
+void BufferPool::SetCleanerWritebackHook(std::function<void()> fn) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  cleaner_writeback_hook_ = std::move(fn);
+}
+
+void BufferPool::WakeCleaner() { cleaner_daemon_.Wake(); }
+
+void BufferPool::NoteFirstDirty(PageNum page, uint64_t rec_lsn) {
+  size_t dirty = dpt_.Insert(page, rec_lsn);
+  if (options_.enable_cleaner &&
+      static_cast<double>(dirty) >
+          options_.cleaner_dirty_ratio *
+              static_cast<double>(frames_.size())) {
+    WakeCleaner();
+  }
 }
 
 bool BufferPool::TryOptimisticPin(PageNum page, int frame) {
@@ -281,6 +308,12 @@ Result<int> BufferPool::AllocateFrame() {
       if (f.dirty.load(std::memory_order_acquire)) {
         st = WriteBack(static_cast<int>(h), victim);
         stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+        // Drop the dirty-page table entry BEFORE clearing in-transit: a
+        // re-read of this page (which waits on the transit entry) may
+        // re-dirty it and insert a fresh DPT entry we must not erase. On
+        // write-back failure the entry is kept — conservative, the redo
+        // bound must still cover the lost write.
+        if (st.ok()) dpt_.Erase(victim);
       }
       in_transit_.Remove(victim);
       if (!early_release) clock_lock_.unlock();
@@ -324,6 +357,7 @@ Status BufferPool::FlushPage(PageNum page) {
     if (st.ok()) {
       f.dirty.store(false, std::memory_order_release);
       f.rec_lsn.store(0, std::memory_order_relaxed);
+      dpt_.Erase(page);
     }
   }
   f.latch.ReleaseShared();
@@ -352,18 +386,27 @@ Lsn BufferPool::ScanMinRecLsn() const {
   return Lsn{min_lsn};
 }
 
-Status BufferPool::CleanerSweep() {
+Status BufferPool::CleanerPass(size_t max_pages) {
   stats_.cleaner_sweeps.fetch_add(1, std::memory_order_relaxed);
+  // Copy the owner-wired hooks under the cleaner mutex: they are set
+  // after construction, possibly while the daemon is already running.
+  LsnProviderFn lsn_provider;
+  std::function<void()> writeback_hook;
+  {
+    std::lock_guard<std::mutex> guard(hooks_mutex_);
+    lsn_provider = lsn_provider_;
+    writeback_hook = cleaner_writeback_hook_;
+  }
   // With an LSN provider the sweep-start LSN is the published redo point
-  // (strictly safe, see SetLsnProvider); otherwise fall back to the
-  // paper's newest-seen approximation.
-  uint64_t sweep_start_lsn = lsn_provider_ ? lsn_provider_().value : 0;
+  // for a FULL sweep (strictly safe, see SetLsnProvider); otherwise fall
+  // back to the paper's newest-seen approximation. The dirty-page table
+  // supersedes both when it still holds entries after the pass.
+  uint64_t sweep_start_lsn = lsn_provider ? lsn_provider().value : 0;
   uint64_t newest_seen = cleaner_lsn_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    PageNum page = f.page.load(std::memory_order_acquire);
-    if (page == kInvalidPageNum) continue;
-    if (!f.dirty.load(std::memory_order_acquire)) continue;
+  Status first_error = Status::Ok();
+  // Oldest-first: writing back the pages that pin the minimum rec_lsn is
+  // what advances the redo low-water mark (and the log recycle horizon).
+  for (PageNum page : dpt_.OldestPages(max_pages)) {
     // Pin through the locked path so eviction cannot race us.
     int frame = table_->FindAndPin(page, [&](int fr) {
       frames_[fr].pins.fetch_add(1, std::memory_order_acquire);
@@ -371,26 +414,34 @@ Status BufferPool::CleanerSweep() {
     if (frame < 0) continue;  // Evicted (and thus written) meanwhile.
     Frame& pf = frames_[frame];
     pf.latch.AcquireShared();
-    if (pf.dirty.load(std::memory_order_acquire)) {
-      PageNum cur = pf.page.load(std::memory_order_acquire);
-      Status st = WriteBack(frame, cur);
+    if (pf.page.load(std::memory_order_acquire) == page &&
+        pf.dirty.load(std::memory_order_acquire)) {
+      Status st = WriteBack(frame, page);
       if (st.ok()) {
         newest_seen = std::max(
             newest_seen, page::HeaderOf(FrameData(frame))->page_lsn);
         pf.dirty.store(false, std::memory_order_release);
         pf.rec_lsn.store(0, std::memory_order_relaxed);
+        dpt_.Erase(page);
         stats_.cleaner_writes.fetch_add(1, std::memory_order_relaxed);
+        if (writeback_hook) writeback_hook();
+      } else if (first_error.ok()) {
+        first_error = st;  // Best effort: keep cleaning, report the first.
       }
     }
     pf.latch.ReleaseShared();
     pf.Unpin();
   }
-  // After a completed sweep every page dirtied before the sweep has been
-  // written; the newest LSN encountered is now the oldest relevant redo
-  // point (§7.7).
-  cleaner_lsn_.store(lsn_provider_ ? sweep_start_lsn : newest_seen,
-                     std::memory_order_release);
-  return Status::Ok();
+  // Publish the low-water mark: the dirty-page table's incremental min is
+  // exact while entries remain; after a drained (full) pass fall back to
+  // the §7.7 publication so CleanerTrackedLsn keeps its historical
+  // meaning for the stage-comparison benches.
+  Lsn dpt_min = dpt_.MinRecLsn();
+  uint64_t publish = !dpt_min.IsNull()
+                         ? dpt_min.value
+                         : (lsn_provider ? sweep_start_lsn : newest_seen);
+  cleaner_lsn_.store(publish, std::memory_order_release);
+  return first_error;
 }
 
 void BufferPool::UnfixInternal(int frame, sync::LatchMode mode) {

@@ -2,12 +2,15 @@
 #define SHOREMT_BUFFER_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "buffer/dirty_page_table.h"
 #include "buffer/frame.h"
 #include "buffer/frame_table.h"
 #include "buffer/in_transit.h"
@@ -15,6 +18,7 @@
 #include "common/types.h"
 #include "io/volume.h"
 #include "sync/lockfree_stack.h"
+#include "sync/periodic_daemon.h"
 #include "sync/rw_latch.h"
 #include "sync/spinlock.h"
 #include "sync/sync_stats.h"
@@ -33,9 +37,20 @@ struct BufferPoolOptions {
   /// Release the clock-hand mutex before write-back/IO during eviction
   /// (§7.6); if false the hand is held across the whole eviction.
   bool release_clock_hand_early = true;
-  /// Background page cleaner (asynchronous dirty write-back, §2.2.1).
+  /// Background page cleaner (asynchronous dirty write-back, §2.2.1): a
+  /// cv-driven daemon that incrementally writes back the OLDEST dirty
+  /// pages (by rec_lsn, from the dirty-page table) so the redo low-water
+  /// mark keeps advancing. Woken by its interval, by the dirty-ratio
+  /// trigger, and by WakeCleaner() (log-segment pressure).
   bool enable_cleaner = false;
   uint64_t cleaner_interval_us = 2000;
+  /// Dirty frames written back per cleaner pass (0 = all — a full sweep).
+  /// Incremental batches keep each pass short so a wake-up never stalls
+  /// the pool behind one long write storm.
+  size_t cleaner_batch = 64;
+  /// Back-pressure trigger: MarkDirty wakes the cleaner once dirty pages
+  /// exceed this fraction of the pool (only with enable_cleaner).
+  double cleaner_dirty_ratio = 0.25;
 };
 
 /// Aggregate counters for benches and calibration.
@@ -72,9 +87,18 @@ class PageHandle {
   sync::LatchMode mode() const { return mode_; }
 
   /// Records that the caller modified the page under an exclusive latch.
-  /// `lsn` is the WAL record covering the change; it becomes the page LSN
-  /// and, if the page was clean, its recovery LSN.
-  void MarkDirty(Lsn lsn);
+  /// `page_lsn` is the END LSN of the WAL record covering the change (what
+  /// the page header stores — everything below it is on the image);
+  /// `rec_lsn` is that record's START LSN, which becomes the page's
+  /// recovery LSN if it was clean. The distinction matters: redo scans
+  /// from the minimum rec_lsn and must include the first dirtying record
+  /// itself — seeding rec_lsn with the end LSN would place the scan start
+  /// just past it and lose the update if the image never reaches disk.
+  /// There is deliberately no single-LSN overload: every pre-existing
+  /// caller passed the record END LSN, and routing that habit through a
+  /// convenience overload would silently overstate the recovery LSN —
+  /// the exact lost-update bug the two-argument form exists to prevent.
+  void MarkDirty(Lsn page_lsn, Lsn rec_lsn);
 
   /// Converts an exclusive hold to shared (keeps the pin).
   void DowngradeLatch();
@@ -107,15 +131,14 @@ class BufferPool {
   BufferPool(io::Volume* volume, BufferPoolOptions options,
              LogFlushFn log_flush = nullptr);
 
-  /// Wires the log's append-LSN source. With a provider, CleanerSweep
-  /// publishes the sweep-start LSN, which is a strictly safe redo point:
-  /// every page dirtied before the sweep started has been written by the
-  /// end of the sweep, so surviving dirt carries only newer LSNs. Without
-  /// a provider the sweep publishes the newest page LSN it wrote (the
-  /// paper's §7.7 approximation).
-  void SetLsnProvider(LsnProviderFn provider) {
-    lsn_provider_ = std::move(provider);
-  }
+  /// Wires the log's append-LSN source. With a provider, a full cleaner
+  /// sweep publishes the sweep-start LSN, which is a strictly safe redo
+  /// point: every page dirtied before the sweep started has been written
+  /// by the end of the sweep, so surviving dirt carries only newer LSNs.
+  /// Without a provider the sweep publishes the newest page LSN it wrote
+  /// (the paper's §7.7 approximation). Synchronized with the background
+  /// cleaner (which may already be running when the owner wires this).
+  void SetLsnProvider(LsnProviderFn provider);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -135,20 +158,44 @@ class BufferPool {
   Status FlushAll();
 
   /// Minimum rec_lsn across dirty frames — the checkpoint's redo low
-  /// water mark. This is the *blocking* variant: it scans every frame.
+  /// water mark. This is the *blocking* variant: it scans every frame
+  /// (original Shore; kept for the baseline stage presets).
   Lsn ScanMinRecLsn() const;
 
-  /// The decoupled variant (§7.7): the page cleaner tracks the newest LSN
-  /// it saw during its last completed sweep; because it writes out what it
-  /// passes, that value bounds redo for everything older. Null if the
-  /// cleaner has not completed a sweep yet.
+  /// The decoupled variant (§7.7 taken to its conclusion): the explicit
+  /// dirty-page table maintains the minimum first-dirty rec_lsn
+  /// incrementally — one O(log n) update per dirty/clean transition, an
+  /// O(1) read here. Null when nothing is dirty.
+  Lsn DirtyMinRecLsn() const { return dpt_.MinRecLsn(); }
+  /// Dirty pages currently tracked.
+  size_t DirtyPageCount() const { return dpt_.size(); }
+
+  /// Newest page LSN (or sweep-start LSN, with an LSN provider) published
+  /// by the last completed full sweep — the paper's §7.7 approximation,
+  /// kept for comparison; checkpoints now use DirtyMinRecLsn(). Null if
+  /// no full sweep has completed.
   Lsn CleanerTrackedLsn() const {
     return Lsn{cleaner_lsn_.load(std::memory_order_acquire)};
   }
 
-  /// Runs one synchronous cleaner sweep (used by tests and checkpoints
-  /// when the background cleaner is disabled).
-  Status CleanerSweep();
+  /// Runs one synchronous full cleaner sweep (tests, cold starts).
+  Status CleanerSweep() { return CleanerPass(0); }
+
+  /// One incremental cleaner round: writes back up to `max_pages` dirty
+  /// pages in ascending rec_lsn order (0 = all), WAL-correctly (log
+  /// flushed to each page's LSN first). The background daemon calls this
+  /// on every wake-up; tests and checkpoint cold starts call it directly.
+  Status CleanerPass(size_t max_pages);
+
+  /// Wakes the background cleaner daemon immediately (no-op without one).
+  /// Called on log-segment pressure by the flush pipeline's hook and by
+  /// the dirty-ratio trigger — a cv notify, never a busy-wait.
+  void WakeCleaner();
+
+  /// `fn` is invoked (from the cleaner thread) once per page the cleaner
+  /// writes back — the storage manager mirrors the count into
+  /// LogStats::cleaner_writebacks. Synchronized like SetLsnProvider.
+  void SetCleanerWritebackHook(std::function<void()> fn);
 
   const BufferPoolStats& stats() const { return stats_; }
   size_t frame_count() const { return frames_.size(); }
@@ -174,6 +221,9 @@ class BufferPool {
   /// Writes frame's dirty image to the volume (log flushed first).
   Status WriteBack(int frame, PageNum page);
   void UnfixInternal(int frame, sync::LatchMode mode);
+  /// MarkDirty's clean→dirty transition: registers the page in the
+  /// dirty-page table and fires the dirty-ratio cleaner trigger.
+  void NoteFirstDirty(PageNum page, uint64_t rec_lsn);
 
   uint8_t* FrameData(int frame) {
     return arena_.get() + static_cast<size_t>(frame) * kPageSize;
@@ -194,9 +244,15 @@ class BufferPool {
   std::atomic<size_t> clock_hand_{0};
 
   BufferPoolStats stats_;
+  DirtyPageTable dpt_;
+  /// Guarded by hooks_mutex_: set by the owner after construction,
+  /// while the cleaner daemon may already be running.
+  std::function<void()> cleaner_writeback_hook_;
+  std::mutex hooks_mutex_;  ///< Guards lsn_provider_ + writeback hook.
   std::atomic<uint64_t> cleaner_lsn_{0};
-  std::atomic<bool> stop_cleaner_{false};
-  std::thread cleaner_;
+  /// Background cleaner (shared cv-daemon scaffold): interval tick +
+  /// WakeCleaner kicks, one incremental CleanerPass per wake-up.
+  sync::PeriodicDaemon cleaner_daemon_;
 };
 
 }  // namespace shoremt::buffer

@@ -38,6 +38,11 @@ void FlushPipeline::Abandon() {
   abandoned_ = true;
 }
 
+void FlushPipeline::SetPostBatchHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  post_batch_hook_ = std::move(hook);
+}
+
 void FlushPipeline::Submit(Lsn upto) {
   if (upto.IsNull() || IsDurable(upto)) return;
   {
@@ -212,6 +217,13 @@ void FlushPipeline::DaemonLoop() {
     // commit: `batched` commit requests amortize this single call.
     Status st = buffer_->FlushTo(Lsn{target});
     lk.lock();
+    // Pressure nudge: this flush may have filled the log past the recycle
+    // threshold — wake the cleaner/checkpoint services (cv notifies, no
+    // busy-wait) so the low-water mark advances and segments can be freed.
+    // Invoked UNDER the lock so SetPostBatchHook(nullptr) synchronizes
+    // with any in-flight invocation (the owner clears it at teardown,
+    // before the structures the hook pokes are destroyed).
+    if (st.ok() && post_batch_hook_) post_batch_hook_();
     if (st.ok()) {
       stats_->group_batches.fetch_add(1, std::memory_order_relaxed);
       stats_->group_batch_txns.fetch_add(batched, std::memory_order_relaxed);

@@ -80,6 +80,17 @@ class FlushPipeline {
   /// submitted-but-unflushed commit records are lost like on power-down.
   void Abandon();
 
+  /// Registers a hook the daemon invokes after every flush it performs
+  /// (submission batches AND idle periodic flushes). The log manager
+  /// wires a segment-pressure check through it: when the flush just
+  /// filled the log past the recycle threshold, the hook wakes the page
+  /// cleaner / checkpoint daemon instead of anyone busy-waiting on
+  /// segment counts. Invoked under the pipeline's mutex so that
+  /// SetPostBatchHook(nullptr) at teardown synchronizes with in-flight
+  /// invocations; the hook must therefore be short, must not block, and
+  /// must not re-enter the pipeline (cv notifies are fine).
+  void SetPostBatchHook(std::function<void()> hook);
+
  private:
   using Callback = std::function<void(Status)>;
 
@@ -113,6 +124,8 @@ class FlushPipeline {
   /// Durability callbacks keyed by target LSN, fired as the durable
   /// horizon passes them (ascending-LSN dispatch order).
   std::multimap<uint64_t, Callback> callbacks_;
+  /// Invoked under mutex_ after each daemon flush; see SetPostBatchHook.
+  std::function<void()> post_batch_hook_;
   Status error_;                 ///< Sticky; set by the first failed flush.
   bool stop_ = false;
   bool abandoned_ = false;

@@ -9,8 +9,13 @@ namespace shoremt::log {
 
 LogManager::LogManager(LogStorage* storage, LogOptions options)
     : storage_(storage), options_(options) {
+  if (options_.segment_bytes > 0) {
+    storage_->set_segment_bytes(options_.segment_bytes);
+  }
   // Assigned in the body so stats_ is fully constructed before the buffer
-  // (which publishes consolidation counters into it) exists.
+  // (which publishes consolidation counters into it) exists; same for the
+  // storage's segment-counter mirror.
+  storage_->AttachStats(&stats_);
   buffer_ = MakeLogBuffer(options_.buffer_kind, storage_,
                           options_.buffer_capacity, &stats_,
                           options_.carray_force_consolidation);
@@ -19,7 +24,29 @@ LogManager::LogManager(LogStorage* storage, LogOptions options)
       options_.flush_daemon ? options_.flush_interval_us : 0);
 }
 
-LogManager::~LogManager() = default;
+LogManager::~LogManager() {
+  // The pipeline (whose drain can allocate segments) must stop before the
+  // stats mirror detaches; the storage outlives this manager.
+  pipeline_.reset();
+  storage_->AttachStats(nullptr);
+}
+
+size_t LogManager::Recycle(Lsn below) {
+  if (below.IsNull()) return 0;
+  Lsn durable = buffer_->durable_lsn();
+  if (below > durable) below = durable;
+  return storage_->Recycle(below);
+}
+
+void LogManager::SetPressureHook(std::function<void()> hook) {
+  if (!hook) {
+    pipeline_->SetPostBatchHook(nullptr);
+    return;
+  }
+  pipeline_->SetPostBatchHook([this, hook = std::move(hook)] {
+    if (SegmentPressure()) hook();
+  });
+}
 
 Result<Appended> LogManager::Append(const LogRecord& rec) {
   thread_local std::vector<uint8_t> scratch;
@@ -106,22 +133,27 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) const {
 Status LogManager::Scan(
     const std::function<Status(const LogRecord&, Lsn end)>& fn,
     Lsn from) const {
-  std::vector<uint8_t> snapshot = storage_->Snapshot();
+  // Clamp to the reclamation horizon: bytes below it may be recycled, and
+  // the horizon is always a record boundary (it is an LSN a checkpoint
+  // computed), so the scan stays aligned.
   uint64_t offset = from.IsNull() ? 0 : from.value - 1;
-  while (offset + 4 <= snapshot.size()) {
+  offset = std::max(offset, storage_->reclaim_horizon().value - 1);
+  std::vector<uint8_t> live;
+  SHOREMT_RETURN_NOT_OK(storage_->ReadFrom(offset, &live));
+  size_t pos = 0;
+  while (pos + 4 <= live.size()) {
     LogRecord rec;
     size_t consumed;
-    std::span<const uint8_t> rest(snapshot.data() + offset,
-                                  snapshot.size() - offset);
+    std::span<const uint8_t> rest(live.data() + pos, live.size() - pos);
     Status st = DeserializeLogRecord(rest, &rec, &consumed);
     if (!st.ok()) {
       // A torn tail (record length beyond durable bytes) ends the scan;
       // anything unreadable here was not durably written.
       return Status::Ok();
     }
-    rec.lsn = Lsn{offset + 1};
-    SHOREMT_RETURN_NOT_OK(fn(rec, Lsn{offset + consumed + 1}));
-    offset += consumed;
+    rec.lsn = Lsn{offset + pos + 1};
+    SHOREMT_RETURN_NOT_OK(fn(rec, Lsn{offset + pos + consumed + 1}));
+    pos += consumed;
   }
   return Status::Ok();
 }

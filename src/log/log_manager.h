@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "log/log_buffer.h"
 #include "log/log_record.h"
+#include "log/log_stats.h"
 #include "log/log_storage.h"
 
 namespace shoremt::log {
@@ -33,49 +34,19 @@ struct LogOptions {
   /// leader/member protocol (join accounting, base hand-off, group-claim
   /// flush, error propagation) deterministic to test.
   bool carray_force_consolidation = false;
+  /// Segment size applied to the attached LogStorage (0 keeps whatever the
+  /// storage was constructed with). Whole segments below the checkpoint's
+  /// redo low-water mark are freed by Recycle — small segments recycle
+  /// promptly, large ones amortize allocation.
+  uint64_t segment_bytes = 0;
+  /// Live-segment count at which the flush pipeline reports log pressure
+  /// through the pressure hook (waking the page cleaner / checkpoint
+  /// daemon so the low-water mark advances and segments can be freed).
+  size_t recycle_pressure_segments = 8;
 };
 
-/// Per-manager counters.
-struct LogStats {
-  std::atomic<uint64_t> records{0};
-  std::atomic<uint64_t> bytes{0};
-  std::atomic<uint64_t> compensations{0};
-  /// Durability requests that had to block (synchronous FlushTo calls that
-  /// found their target not yet durable, plus pipeline Waits that parked).
-  std::atomic<uint64_t> flush_waits{0};
-  /// Pipeline Waits that found their LSN already durable — the flush
-  /// waits group commit made unnecessary.
-  std::atomic<uint64_t> waits_avoided{0};
-  /// Device flushes issued by the group-commit daemon (batches).
-  std::atomic<uint64_t> group_batches{0};
-  /// Commit requests amortized into those batches; group_batch_txns /
-  /// group_batches = transactions per flush.
-  std::atomic<uint64_t> group_batch_txns{0};
-
-  // --- consolidation-array counters (kCArray buffer only) -----------------
-  // The hot two (solo claims / slot joins) sit on their own cache lines:
-  // every append bumps exactly one of them, and sharing a line with the
-  // flush-side counters would re-introduce the shared-counter serialization
-  // these buffers exist to remove (§5).
-
-  /// Combined-extent claims performed by group leaders.
-  std::atomic<uint64_t> carray_groups{0};
-  /// Records carried by those groups (leader + members); divide by
-  /// carray_groups for the mean group size.
-  std::atomic<uint64_t> carray_group_records{0};
-  /// Bytes claimed through group extents.
-  std::atomic<uint64_t> carray_group_bytes{0};
-  /// Group-size histogram: buckets 1, 2, 3-4, 5-8, 9-16, >16 members.
-  std::atomic<uint64_t> carray_group_size_hist[6] = {};
-  /// Appends that joined an open consolidation slot as a member.
-  alignas(64) std::atomic<uint64_t> carray_slot_joins{0};
-  /// Appends that claimed buffer space alone (fast path or solo retry).
-  alignas(64) std::atomic<uint64_t> carray_solo_claims{0};
-  /// Times the flusher (or a ring-full appender) found every completed
-  /// byte already durable and had to wait for in-flight copiers to
-  /// publish more regions before the watermark could advance.
-  alignas(64) std::atomic<uint64_t> carray_watermark_stalls{0};
-};
+// LogStats lives in log/log_stats.h so the storage layer can mirror
+// segment counters into it without depending on this (higher) header.
 
 /// The log manager (§2.2.4): serializes WAL records into the staging
 /// buffer, enforces durability on commit, and replays the durable stream
@@ -133,14 +104,59 @@ class LogManager {
   Lsn durable_lsn() const { return buffer_->durable_lsn(); }
   Lsn next_lsn() const { return buffer_->next_lsn(); }
 
+  // --- log lifecycle (segmented storage + recycling) -----------------------
+
+  /// Frees whole log segments below `below` (clamped to the durable LSN:
+  /// undo and recovery read only durable bytes, and a checkpoint flushes
+  /// its record before recycling). `below` is the reclamation horizon —
+  /// min(checkpoint redo low-water, oldest active transaction's begin
+  /// LSN), computed by the storage manager's fuzzy checkpoint. Returns
+  /// the number of segments freed.
+  size_t Recycle(Lsn below);
+
+  /// First LSN a log scan may start at (everything below it may have been
+  /// recycled). Forwarded from the storage, so it survives restarts.
+  Lsn reclaim_horizon() const { return storage_->reclaim_horizon(); }
+
+  /// Live segments held by the storage right now.
+  size_t live_segments() const { return storage_->live_segments(); }
+
+  /// True when the storage holds at least `recycle_pressure_segments`
+  /// live segments — the signal that background reclamation (cleaner +
+  /// checkpoint) is falling behind the append rate.
+  bool SegmentPressure() const {
+    return storage_->live_segments() >= options_.recycle_pressure_segments;
+  }
+
+  /// Registers `hook`, invoked from the flush daemon UNDER the pipeline's
+  /// lock after a flush batch whenever SegmentPressure() holds — the
+  /// no-busy-wait nudge that wakes the page cleaner and the checkpoint
+  /// daemon so the low-water mark advances and Recycle can free segments.
+  /// The hook must be short, must not block, and must not re-enter the
+  /// pipeline (Submit/Wait/OnDurable would self-deadlock); cv notifies
+  /// are fine. See FlushPipeline::SetPostBatchHook.
+  void SetPressureHook(std::function<void()> hook);
+
+  /// Stat entry points for the services the log cannot see directly.
+  void NoteCheckpoint() {
+    stats_.checkpoint_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteCleanerWriteback() {
+    stats_.cleaner_writebacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteRedoScanBytes(uint64_t bytes) {
+    stats_.redo_scan_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
   /// Reads the record starting at `lsn` from the durable log (undo path).
   /// A torn or garbage length prefix yields Corruption, never a bogus
   /// read.
   Result<LogRecord> ReadRecord(Lsn lsn) const;
 
-  /// Iterates every durable record in LSN order; the callback receives
-  /// each record with `lsn` and computed end LSN filled in. Stops early on
-  /// callback error.
+  /// Iterates every durable record in LSN order starting at `from`
+  /// (clamped up to the reclamation horizon — recycled bytes are gone);
+  /// the callback receives each record with `lsn` and computed end LSN
+  /// filled in. Stops early on callback error.
   Status Scan(const std::function<Status(const LogRecord&, Lsn end)>& fn,
               Lsn from = Lsn{1}) const;
 

@@ -88,9 +88,21 @@ void SerializeCheckpoint(const CheckpointBody& body,
   out->clear();
   Put<uint64_t>(out, body.redo_lsn.value);
   Put<uint32_t>(out, static_cast<uint32_t>(body.active_txns.size()));
-  for (const auto& [txn, last] : body.active_txns) {
-    Put<uint64_t>(out, txn);
-    Put<uint64_t>(out, last.value);
+  for (const CheckpointTxn& t : body.active_txns) {
+    Put<uint64_t>(out, t.id);
+    Put<uint64_t>(out, t.last_lsn.value);
+    Put<uint64_t>(out, t.first_lsn.value);
+  }
+  Put<uint32_t>(out, static_cast<uint32_t>(body.tables.size()));
+  for (const std::vector<uint8_t>& t : body.tables) {
+    Put<uint32_t>(out, static_cast<uint32_t>(t.size()));
+    out->insert(out->end(), t.begin(), t.end());
+  }
+  Put<uint32_t>(out, static_cast<uint32_t>(body.stores.size()));
+  for (const auto& [store, pages] : body.stores) {
+    Put<uint32_t>(out, store);
+    Put<uint32_t>(out, static_cast<uint32_t>(pages.size()));
+    for (PageNum p : pages) Put<uint64_t>(out, p);
   }
 }
 
@@ -105,11 +117,45 @@ Status DeserializeCheckpoint(std::span<const uint8_t> data,
   body->redo_lsn = Lsn{redo};
   body->active_txns.clear();
   for (uint32_t i = 0; i < count; ++i) {
-    uint64_t txn, last;
-    if (!Get(data, &off, &txn) || !Get(data, &off, &last)) {
+    uint64_t txn, last, first;
+    if (!Get(data, &off, &txn) || !Get(data, &off, &last) ||
+        !Get(data, &off, &first)) {
       return Status::Corruption("truncated checkpoint txn table");
     }
-    body->active_txns.emplace_back(txn, Lsn{last});
+    body->active_txns.push_back({txn, Lsn{last}, Lsn{first}});
+  }
+  uint32_t tables;
+  if (!Get(data, &off, &tables)) {
+    return Status::Corruption("truncated checkpoint catalog");
+  }
+  body->tables.clear();
+  for (uint32_t i = 0; i < tables; ++i) {
+    uint32_t len;
+    if (!Get(data, &off, &len) || off + len > data.size()) {
+      return Status::Corruption("truncated checkpoint catalog entry");
+    }
+    body->tables.emplace_back(data.begin() + off, data.begin() + off + len);
+    off += len;
+  }
+  uint32_t stores;
+  if (!Get(data, &off, &stores)) {
+    return Status::Corruption("truncated checkpoint space map");
+  }
+  body->stores.clear();
+  for (uint32_t i = 0; i < stores; ++i) {
+    uint32_t store, pages;
+    if (!Get(data, &off, &store) || !Get(data, &off, &pages)) {
+      return Status::Corruption("truncated checkpoint store entry");
+    }
+    std::vector<PageNum> list(pages);
+    for (uint32_t p = 0; p < pages; ++p) {
+      uint64_t page;
+      if (!Get(data, &off, &page)) {
+        return Status::Corruption("truncated checkpoint page list");
+      }
+      list[p] = page;
+    }
+    body->stores.emplace_back(store, std::move(list));
   }
   return Status::Ok();
 }

@@ -71,10 +71,31 @@ void SerializeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out);
 Status DeserializeLogRecord(std::span<const uint8_t> data, LogRecord* rec,
                             size_t* consumed);
 
-/// Payload of a kCheckpoint record.
+/// One active transaction captured by a fuzzy checkpoint.
+struct CheckpointTxn {
+  TxnId id = kInvalidTxnId;
+  Lsn last_lsn;   ///< Undo-chain tail at snapshot time (restart undo cursor).
+  Lsn first_lsn;  ///< Begin LSN: the log append horizon when the
+                  ///< transaction started — no record of it can sit below
+                  ///< this, so it floors the log-recycling horizon.
+};
+
+/// Payload of a kCheckpoint record. Besides the classic redo low-water
+/// mark and active-transaction table, it carries a catalog + space-map
+/// snapshot: once segments below the horizon are recycled, the metadata
+/// records that built those maps are gone, so analysis bootstraps from
+/// the snapshot and replays only post-snapshot metadata records (all
+/// apply hooks are idempotent — the snapshot is fuzzy).
 struct CheckpointBody {
-  Lsn redo_lsn;  ///< Redo scan start (min dirty rec_lsn / cleaner LSN).
-  std::vector<std::pair<TxnId, Lsn>> active_txns;  ///< id → last LSN.
+  /// Redo scan start: min(dirty-page-table min rec_lsn, oldest active
+  /// transaction's begin LSN). Also the log-recycling horizon.
+  Lsn redo_lsn;
+  std::vector<CheckpointTxn> active_txns;
+  /// Catalog snapshot: serialized sm-layer TableInfo entries (opaque to
+  /// the log layer).
+  std::vector<std::vector<uint8_t>> tables;
+  /// Space snapshot: store → pages in allocation order.
+  std::vector<std::pair<StoreId, std::vector<PageNum>>> stores;
 };
 
 void SerializeCheckpoint(const CheckpointBody& body, std::vector<uint8_t>* out);

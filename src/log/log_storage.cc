@@ -1,9 +1,12 @@
 #include "log/log_storage.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/clock.h"
+#include "log/log_stats.h"
 
 namespace shoremt::log {
 
@@ -28,27 +31,126 @@ Status LogStorage::AppendV(std::span<const std::span<const uint8_t>> parts) {
     }
   }
   std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = size_.load(std::memory_order_relaxed);
   for (std::span<const uint8_t> part : parts) {
-    bytes_.insert(bytes_.end(), part.begin(), part.end());
+    const uint8_t* src = part.data();
+    size_t remaining = part.size();
+    while (remaining > 0) {
+      if (segments_.empty() ||
+          segments_.back().bytes.size() == segments_.back().capacity) {
+        Segment seg;
+        seg.base = total;
+        seg.capacity = segment_bytes_;
+        seg.bytes.reserve(seg.capacity);
+        segments_.push_back(std::move(seg));
+        segments_allocated_.fetch_add(1, std::memory_order_relaxed);
+        if (attached_stats_ != nullptr) {
+          attached_stats_->segments_allocated.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      Segment& tail = segments_.back();
+      size_t room = tail.capacity - tail.bytes.size();
+      size_t n = std::min(room, remaining);
+      tail.bytes.insert(tail.bytes.end(), src, src + n);
+      src += n;
+      remaining -= n;
+      total += n;
+    }
   }
-  size_.store(bytes_.size(), std::memory_order_release);
+  size_.store(total, std::memory_order_release);
   return Status::Ok();
+}
+
+Status LogStorage::CheckRangeLocked(uint64_t offset, size_t len) const {
+  if (offset + len > size_.load(std::memory_order_relaxed)) {
+    return Status::IOError("log read past durable end");
+  }
+  uint64_t first_live = segments_.empty()
+                            ? size_.load(std::memory_order_relaxed)
+                            : segments_.front().base;
+  if (len > 0 && offset < first_live) {
+    return Status::IOError("log read below recycled horizon");
+  }
+  return Status::Ok();
+}
+
+void LogStorage::CopyOutLocked(uint64_t offset, size_t len,
+                               uint8_t* out) const {
+  // Locate the first overlapped segment (segments ascend by base).
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), offset,
+      [](uint64_t off, const Segment& s) { return off < s.base; });
+  if (it != segments_.begin()) --it;
+  while (len > 0) {
+    uint64_t in_seg = offset - it->base;
+    size_t n = std::min<uint64_t>(len, it->bytes.size() - in_seg);
+    std::memcpy(out, it->bytes.data() + in_seg, n);
+    out += n;
+    offset += n;
+    len -= n;
+    ++it;
+  }
 }
 
 Status LogStorage::Read(uint64_t offset, size_t len,
                         std::vector<uint8_t>* out) const {
   std::lock_guard<std::mutex> guard(mutex_);
-  if (offset + len > bytes_.size()) {
-    return Status::IOError("log read past durable end");
-  }
-  out->assign(bytes_.begin() + static_cast<long>(offset),
-              bytes_.begin() + static_cast<long>(offset + len));
+  SHOREMT_RETURN_NOT_OK(CheckRangeLocked(offset, len));
+  out->resize(len);
+  CopyOutLocked(offset, len, out->data());
+  return Status::Ok();
+}
+
+Status LogStorage::ReadFrom(uint64_t offset, std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = size_.load(std::memory_order_relaxed);
+  size_t len = offset < total ? static_cast<size_t>(total - offset) : 0;
+  SHOREMT_RETURN_NOT_OK(CheckRangeLocked(offset, len));
+  out->resize(len);
+  CopyOutLocked(offset, len, out->data());
   return Status::Ok();
 }
 
 std::vector<uint8_t> LogStorage::Snapshot() const {
   std::lock_guard<std::mutex> guard(mutex_);
-  return bytes_;
+  std::vector<uint8_t> out;
+  for (const Segment& seg : segments_) {
+    out.insert(out.end(), seg.bytes.begin(), seg.bytes.end());
+  }
+  return out;
+}
+
+size_t LogStorage::Recycle(Lsn below) {
+  if (below.IsNull()) return 0;
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t horizon = below.value - 1;
+  horizon = std::min(horizon, size_.load(std::memory_order_relaxed));
+  if (horizon > horizon_offset_.load(std::memory_order_relaxed)) {
+    horizon_offset_.store(horizon, std::memory_order_release);
+  } else {
+    horizon = horizon_offset_.load(std::memory_order_relaxed);
+  }
+  size_t freed = 0;
+  while (!segments_.empty() &&
+         segments_.front().base + segments_.front().bytes.size() <= horizon &&
+         segments_.front().bytes.size() == segments_.front().capacity) {
+    segments_.pop_front();
+    ++freed;
+  }
+  if (freed > 0) {
+    segments_recycled_.fetch_add(freed, std::memory_order_relaxed);
+    if (attached_stats_ != nullptr) {
+      attached_stats_->segments_recycled.fetch_add(freed,
+                                                   std::memory_order_relaxed);
+    }
+  }
+  return freed;
+}
+
+void LogStorage::AttachStats(LogStats* stats) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  attached_stats_ = stats;
 }
 
 }  // namespace shoremt::log

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -12,18 +13,33 @@
 
 namespace shoremt::log {
 
-/// The durable log device: an append-only byte stream. LSNs are byte
-/// offsets + 1 (so LSN 0 stays "null"). The paper's testbed kept the log
-/// on an in-memory filesystem; `append_latency_ns` models a slower device
-/// per flush *call* (not per byte), which is what makes group commit pay.
+struct LogStats;
+
+/// The durable log device: an append-only byte stream stored as a chain of
+/// fixed-size SEGMENTS. LSNs are byte offsets + 1 (so LSN 0 stays "null")
+/// and stay absolute forever — recycling frees whole segments below the
+/// reclamation horizon without renumbering anything, so the same LSN keys
+/// the same record for the life of the database. The paper's testbed kept
+/// the log on an in-memory filesystem; `append_latency_ns` models a slower
+/// device per flush *call* (not per byte), which is what makes group
+/// commit pay.
 ///
 /// A LogStorage outlives the LogManager attached to it — restart/recovery
 /// tests attach a fresh LogManager to the old storage, and anything that
-/// was never flushed here is what a crash loses.
+/// was never flushed here is what a crash loses. The reclamation horizon
+/// survives re-attachment the same way: recovery must start its analysis
+/// scan at `reclaim_horizon()`, never below it.
 class LogStorage {
  public:
-  explicit LogStorage(uint64_t append_latency_ns = 0)
-      : append_latency_ns_(append_latency_ns) {}
+  /// Default segment size; `segment_bytes` 0 keeps it. Callers that want a
+  /// tightly bounded log (benches, recycling tests) pass something small.
+  static constexpr size_t kDefaultSegmentBytes = 1 << 20;
+
+  explicit LogStorage(uint64_t append_latency_ns = 0,
+                      size_t segment_bytes = kDefaultSegmentBytes)
+      : append_latency_ns_(append_latency_ns),
+        segment_bytes_(segment_bytes == 0 ? kDefaultSegmentBytes
+                                          : segment_bytes) {}
 
   LogStorage(const LogStorage&) = delete;
   LogStorage& operator=(const LogStorage&) = delete;
@@ -39,14 +55,70 @@ class LogStorage {
   /// copy. Same LSN-order contract as Append.
   Status AppendV(std::span<const std::span<const uint8_t>> parts);
 
-  /// Bytes durably stored; durable LSN = size() + 1.
+  /// Bytes durably stored since the beginning of time (recycled bytes
+  /// included); durable LSN = size() + 1.
   uint64_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Copies out the byte range [offset, offset+len) of the durable log.
+  /// Reading below the reclamation horizon's segment chain (bytes whose
+  /// segment was recycled) fails with IOError.
   Status Read(uint64_t offset, size_t len, std::vector<uint8_t>* out) const;
 
-  /// Snapshot of the entire durable log (recovery scan).
+  /// Copies every durable byte in [offset, size()) into `out` (recovery
+  /// scans). `offset` below the first live segment is an IOError, like
+  /// Read.
+  Status ReadFrom(uint64_t offset, std::vector<uint8_t>* out) const;
+
+  /// Snapshot of the live durable log. With no recycling this is the
+  /// entire byte stream from offset 0; after recycling it starts at the
+  /// first live segment (callers that index it by absolute offset must
+  /// not have recycled).
   std::vector<uint8_t> Snapshot() const;
+
+  // --- segment lifecycle ----------------------------------------------------
+
+  /// Frees every segment that lies entirely below `below` (an LSN, i.e. a
+  /// record boundary — typically the checkpoint's redo low-water mark) and
+  /// advances the reclamation horizon to it. Bytes at or above the horizon
+  /// stay readable; a partially-covered segment is kept whole. Returns the
+  /// number of segments freed. Monotonic: a lower `below` than the current
+  /// horizon is a no-op.
+  size_t Recycle(Lsn below);
+
+  /// First LSN recovery may scan from: everything below it has been
+  /// declared reclaimable by a checkpoint (its segments may be gone).
+  /// Lsn{1} until the first Recycle. Persists across LogManager
+  /// re-attachment — it lives with the durable artifact.
+  Lsn reclaim_horizon() const {
+    return Lsn{horizon_offset_.load(std::memory_order_acquire) + 1};
+  }
+
+  size_t segment_bytes() const { return segment_bytes_; }
+  /// Reconfigures the size used for segments allocated from now on
+  /// (existing segments keep their geometry — segments are self-
+  /// describing, so mixed sizes are fine).
+  void set_segment_bytes(size_t bytes) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (bytes > 0) segment_bytes_ = bytes;
+  }
+
+  /// Segments currently held in memory.
+  size_t live_segments() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return segments_.size();
+  }
+  uint64_t segments_allocated() const {
+    return segments_allocated_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_recycled() const {
+    return segments_recycled_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a LogStats block (the owning LogManager's): segment
+  /// allocations/recycles from now on are mirrored into its
+  /// segments_allocated / segments_recycled counters. Pass nullptr to
+  /// detach. A re-attached manager (restart) starts its mirror from zero.
+  void AttachStats(LogStats* stats);
 
   uint64_t flush_calls() const {
     return flush_calls_.load(std::memory_order_relaxed);
@@ -60,10 +132,32 @@ class LogStorage {
   }
 
  private:
+  /// One fixed-capacity chunk of the byte stream. `base` is the absolute
+  /// offset of bytes[0]; capacity is frozen at allocation time.
+  struct Segment {
+    uint64_t base = 0;
+    size_t capacity = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  /// Copies [offset, offset+len) out of the segment chain. Caller holds
+  /// mutex_ and has validated the range.
+  void CopyOutLocked(uint64_t offset, size_t len, uint8_t* out) const;
+  /// Validates [offset, offset+len) against the live window. Caller holds
+  /// mutex_.
+  Status CheckRangeLocked(uint64_t offset, size_t len) const;
+
   uint64_t append_latency_ns_;
   mutable std::mutex mutex_;
-  std::vector<uint8_t> bytes_;
+  size_t segment_bytes_;
+  std::deque<Segment> segments_;
+  LogStats* attached_stats_ = nullptr;  ///< Guarded by mutex_.
   std::atomic<uint64_t> size_{0};
+  /// Absolute offset below which bytes are reclaimable (recycled segments
+  /// are gone; a straddling segment keeps its sub-horizon bytes readable).
+  std::atomic<uint64_t> horizon_offset_{0};
+  std::atomic<uint64_t> segments_allocated_{0};
+  std::atomic<uint64_t> segments_recycled_{0};
   std::atomic<uint64_t> flush_calls_{0};
   std::atomic<bool> fail_appends_{false};
 };

@@ -53,10 +53,26 @@ struct StorageOptions {
   lock::LockOptions lock;
   txn::TxnOptions txn;
   btree::BTreeOptions btree;
-  /// §7.7: derive the checkpoint redo point from the page cleaner's
-  /// tracked LSN instead of scanning the whole buffer pool while holding
-  /// the transaction table still.
+  /// §7.7: derive the checkpoint redo point from the dirty-page table's
+  /// incremental minimum (maintained by MarkDirty / write-back, advanced
+  /// by the page cleaner) instead of scanning the whole buffer pool while
+  /// holding the transaction table still.
   bool decoupled_checkpoint = true;
+  /// Background checkpoint daemon: takes a fuzzy checkpoint (and recycles
+  /// log segments below its low-water mark) every interval, plus whenever
+  /// log-segment pressure wakes it through the flush pipeline's hook.
+  /// Paired with buffer.enable_cleaner and log.segment_bytes this closes
+  /// the full loop — cleaner advances the low-water mark, checkpoint
+  /// records it, Recycle frees segments, recovery redoes only the tail.
+  bool checkpoint_daemon = false;
+  uint64_t checkpoint_interval_ms = 100;
+  /// The catalog/space snapshot in a checkpoint body is O(database
+  /// pages); it rides only every Nth checkpoint (1 = every one). The
+  /// in-between checkpoints still record the redo low-water mark and the
+  /// active-transaction table, but log recycling is clamped to the
+  /// newest snapshot-carrying checkpoint record so recovery's analysis
+  /// can always bootstrap the metadata maps.
+  size_t checkpoint_snapshot_every = 4;
 
   /// Configuration corresponding to a §7 development stage. Later stages
   /// include all earlier optimizations (the paper's process was strictly

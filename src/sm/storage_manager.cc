@@ -1,8 +1,10 @@
 #include "sm/storage_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "btree/btree_node.h"
 #include "page/page.h"
@@ -63,11 +65,38 @@ StorageManager::StorageManager(StorageOptions options, io::Volume* volume,
       [this](txn::Transaction* txn, const log::LogRecord& rec) {
         return UndoRecord(txn, txn->id, rec);
       });
+  // Close the log-lifecycle loop: cleaner write-backs are mirrored into
+  // LogStats, and log-segment pressure (reported by the flush daemon after
+  // its batches) wakes the cleaner and the checkpoint daemon so the
+  // low-water mark advances and Recycle can free segments — cv notifies
+  // end to end, nothing polls.
+  pool_->SetCleanerWritebackHook([this] { log_->NoteCleanerWriteback(); });
+  log_->SetPressureHook([this] {
+    pool_->WakeCleaner();
+    WakeCheckpoint();
+  });
 }
 
 StorageManager::~StorageManager() {
+  ckpt_daemon_.Stop();
+  // Disarm the pressure hook before any member dies: SetPostBatchHook
+  // synchronizes under the pipeline's lock, so after this returns the
+  // flush daemon can no longer poke the checkpoint cv or the cleaner.
+  log_->SetPressureHook(nullptr);
   if (!crashed_) (void)Shutdown();
 }
+
+void StorageManager::StartCheckpointDaemon() {
+  if (!options_.checkpoint_daemon) return;
+  auto interval = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::milliseconds(options_.checkpoint_interval_ms));
+  ckpt_daemon_.Start(interval,
+                     [this] { (void)Checkpoint(); },  // Best effort.
+                     /*min_gap=*/interval / 2 +
+                         std::chrono::microseconds(1000));
+}
+
+void StorageManager::WakeCheckpoint() { ckpt_daemon_.Wake(); }
 
 Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     StorageOptions options, io::Volume* volume,
@@ -80,6 +109,9 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   if (log_storage->size() > 0) {
     SHOREMT_RETURN_NOT_OK(sm->Recover());
   }
+  // Background checkpoints only start once recovery is done: a fuzzy
+  // checkpoint mid-redo would snapshot half-replayed state.
+  sm->StartCheckpointDaemon();
   return sm;
 }
 
@@ -207,7 +239,7 @@ Result<RecordId> StorageManager::HeapInsert(txn::Transaction* txn,
           rec.after.assign(payload.begin(), payload.end());
           SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
           txns_->NoteLogged(txn, a.lsn, a.end);
-          h.MarkDirty(a.end);
+          h.MarkDirty(a.end, a.lsn);
           return RecordId{*last, slot};
         }
       }
@@ -228,7 +260,7 @@ Result<RecordId> StorageManager::HeapInsert(txn::Transaction* txn,
       rec.prev_lsn = txn->last_lsn;
       SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
       txns_->NoteLogged(txn, a.lsn, a.end);
-      h.MarkDirty(a.end);
+      h.MarkDirty(a.end, a.lsn);
       return Status::Ok();
     };
     SHOREMT_ASSIGN_OR_RETURN(PageNum fresh,
@@ -308,7 +340,7 @@ Status StorageManager::Update(txn::Transaction* txn, const TableInfo& table,
   SHOREMT_RETURN_NOT_OK(sp.Update(rid.slot, payload));
   SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
   txns_->NoteLogged(txn, a.lsn, a.end);
-  h.MarkDirty(a.end);
+  h.MarkDirty(a.end, a.lsn);
   return Status::Ok();
 }
 
@@ -335,7 +367,7 @@ Status StorageManager::Delete(txn::Transaction* txn, const TableInfo& table,
     SHOREMT_RETURN_NOT_OK(sp.Delete(rid.slot));
     SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
     txns_->NoteLogged(txn, a.lsn, a.end);
-    h.MarkDirty(a.end);
+    h.MarkDirty(a.end, a.lsn);
   }
   return index->Remove(txn, key);
 }
@@ -366,23 +398,69 @@ Status StorageManager::Scan(
 }
 
 Result<Lsn> StorageManager::Checkpoint() {
-  if (options_.decoupled_checkpoint) {
-    // §7.7: the cleaner's tracked LSN replaces the buffer pool scan. Run a
-    // sweep if none has completed yet (cold start).
-    if (pool_->CleanerTrackedLsn().IsNull()) {
-      SHOREMT_RETURN_NOT_OK(pool_->CleanerSweep());
+  // One checkpoint at a time, snapshot through recycle: two overlapping
+  // checkpoints could otherwise append their records out of snapshot
+  // order, and the later-appended-but-earlier-snapshotted one would
+  // become recovery's "last checkpoint" while the other's Recycle had
+  // already freed commit records of transactions the stale body still
+  // lists as active — resurrecting committed work as losers.
+  std::lock_guard<std::mutex> ckpt_guard(ckpt_api_mutex_);
+  // Decoupled (§7.7 completed): the dirty-page table's incremental
+  // minimum replaces the buffer-pool scan — an O(1) read while the
+  // transaction table is frozen. The blocking variant keeps the original
+  // Shore behavior for the stage-comparison benches. Either way the
+  // no-dirty-pages fallback is the current append horizon: everything
+  // below it is clean on disk, and updates racing the snapshot are
+  // covered by the active-transaction begin-LSN floor TakeCheckpoint
+  // applies.
+  auto redo_source = [this] {
+    Lsn lsn = options_.decoupled_checkpoint ? pool_->DirtyMinRecLsn()
+                                            : pool_->ScanMinRecLsn();
+    return lsn.IsNull() ? log_->next_lsn() : lsn;
+  };
+  // The body carries catalog + space snapshots: once segments below the
+  // horizon are recycled, the metadata records that built these maps are
+  // gone, so recovery's analysis bootstraps from the snapshot instead.
+  // The snapshot is O(database pages), so it rides only every Nth
+  // checkpoint (checkpoint_snapshot_every); in between, recycling is
+  // clamped to the newest snapshot-carrying record so analysis can
+  // always reach one.
+  bool full_snapshot = last_snapshot_ckpt_.IsNull() ||
+                       ++ckpts_since_snapshot_ >=
+                           options_.checkpoint_snapshot_every;
+  auto augment = [this](log::CheckpointBody* body) {
+    {
+      std::lock_guard<std::mutex> guard(catalog_mutex_);
+      body->tables.reserve(catalog_.size());
+      for (const auto& [name, info] : catalog_) {
+        std::vector<uint8_t> bytes;
+        SerializeTableInfo(info, &bytes);
+        body->tables.push_back(std::move(bytes));
+      }
     }
-    return txns_->TakeCheckpoint([this] {
-      Lsn lsn = pool_->CleanerTrackedLsn();
-      return lsn.IsNull() ? Lsn{1} : lsn;
-    });
+    body->stores = space_->SnapshotStores();
+  };
+  Lsn redo_lsn;
+  SHOREMT_ASSIGN_OR_RETURN(
+      Lsn ck, txns_->TakeCheckpoint(
+                  redo_source,
+                  full_snapshot
+                      ? std::function<void(log::CheckpointBody*)>(augment)
+                      : std::function<void(log::CheckpointBody*)>(),
+                  &redo_lsn));
+  if (full_snapshot) {
+    last_snapshot_ckpt_ = ck;
+    ckpts_since_snapshot_ = 0;
   }
-  // Original Shore: scan the whole pool while the transaction table is
-  // frozen.
-  return txns_->TakeCheckpoint([this] {
-    Lsn lsn = pool_->ScanMinRecLsn();
-    return lsn.IsNull() ? log_->durable_lsn() : lsn;
-  });
+  // The checkpoint record is durable (TakeCheckpoint flushes it): whole
+  // log segments below the low-water mark can go. Recovery never needs
+  // them — redo starts at redo_lsn, undo chains of live transactions are
+  // floored by it, and analysis rebuilds metadata from the newest
+  // snapshot body, which the clamp keeps above the horizon.
+  Lsn recycle_to = redo_lsn;
+  if (recycle_to > last_snapshot_ckpt_) recycle_to = last_snapshot_ckpt_;
+  log_->Recycle(recycle_to);
+  return ck;
 }
 
 Status StorageManager::Shutdown() {
@@ -482,7 +560,7 @@ Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
 
   SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->AppendClr(clr));
   if (txn != nullptr) txns_->NoteLogged(txn, a.lsn, a.end);
-  handle.MarkDirty(a.end);
+  handle.MarkDirty(a.end, a.lsn);
   return Status::Ok();
 }
 
@@ -517,7 +595,7 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
         node.Init(rec.page, rec.store,
                   type == page::PageType::kBTreeLeaf ? 0 : 1);
       }
-      h.MarkDirty(end);
+      h.MarkDirty(end, rec.lsn);
       return Status::Ok();
     }
     case LogRecordType::kPageInsert:
@@ -530,6 +608,14 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
           PageHandle h, pool_->FixPage(rec.page, LatchMode::kExclusive));
       if (page::HeaderOf(h.data())->page_lsn >= end.value) {
         return Status::Ok();  // Change already on the page image.
+      }
+      // An unformatted or misdirected image here means the WAL invariants
+      // were violated upstream; surface it as corruption instead of
+      // letting a page-level apply write through garbage offsets.
+      if (page::HeaderOf(h.data())->magic != page::kPageMagic ||
+          page::HeaderOf(h.data())->page_num != rec.page) {
+        return Status::Corruption(
+            "redo hit an invalid image for page " + std::to_string(rec.page));
       }
       switch (rec.type) {
         case LogRecordType::kPageInsert: {
@@ -569,7 +655,7 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
         default:
           break;
       }
-      h.MarkDirty(end);
+      h.MarkDirty(end, rec.lsn);
       return Status::Ok();
     }
     default:
@@ -578,24 +664,56 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
 }
 
 Status StorageManager::Recover() {
-  // --- Analysis: rebuild space map + catalog from the whole log, find the
-  // last checkpoint, and build the active transaction table.
-  Lsn redo_start{1};
-  std::map<TxnId, Lsn> losers;
-  TxnId max_txn = 0;
+  // --- Analysis: scan the LIVE log (from the reclamation horizon — with
+  // recycling, earlier segments are gone), find the last checkpoint, and
+  // rebuild the space map + catalog + active transaction table. Metadata
+  // below the horizon comes from the checkpoint body's snapshots; records
+  // above it are re-applied through idempotent hooks, so the fuzzy
+  // overlap between the two is harmless.
+  Lsn redo_start = log_->reclaim_horizon();
+  // Losers evidenced by scanned records. Kept separate from checkpoint
+  // hearsay: only the LAST checkpoint's active table is merged in, at the
+  // end. An EARLIER checkpoint may list a transaction whose commit record
+  // has since been recycled (it committed before the current horizon) —
+  // seeding losers from that body would roll back committed work. For the
+  // last checkpoint the hazard cannot arise: every listed transaction's
+  // begin LSN is ≥ that checkpoint's redo floor ≥ the recycle horizon, so
+  // its commit/abort record (which follows its begin) is in the scanned
+  // region whenever it exists.
+  std::map<TxnId, Lsn> scanned_losers;
+  // Transactions whose commit/abort record the scan has passed: a fuzzy
+  // checkpoint can still list them as active (the snapshot ran between
+  // their commit-record append and their retirement), and they must never
+  // be resurrected as losers.
+  std::set<TxnId> ended;
+  std::vector<log::CheckpointTxn> last_checkpoint_active;
   StoreId max_store = 0;
 
   SHOREMT_RETURN_NOT_OK(log_->Scan([&](const log::LogRecord& rec, Lsn end) {
     using log::LogRecordType;
-    max_txn = std::max(max_txn, rec.txn);
     switch (rec.type) {
       case LogRecordType::kCheckpoint: {
         log::CheckpointBody body;
         SHOREMT_RETURN_NOT_OK(DeserializeCheckpoint(rec.after, &body));
-        losers.clear();
-        for (const auto& [id, last] : body.active_txns) {
-          losers[id] = last;
+        // Bootstrap metadata from the snapshots (idempotent against the
+        // records already scanned and those still ahead).
+        for (const auto& t : body.tables) {
+          TableInfo info;
+          SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(t, &info));
+          max_store = std::max(max_store, std::max(info.heap_store,
+                                                   info.index_store));
+          RegisterTable(info);
         }
+        for (const auto& [store, pages] : body.stores) {
+          max_store = std::max(max_store, store);
+          SHOREMT_RETURN_NOT_OK(space_->ApplyCreateStore(store));
+          for (PageNum page : pages) {
+            SHOREMT_RETURN_NOT_OK(space_->ApplyAllocPage(store, page));
+          }
+        }
+        // Remember only the LATEST checkpoint's active table (see the
+        // scanned_losers comment above); it is merged after the scan.
+        last_checkpoint_active = std::move(body.active_txns);
         if (!body.redo_lsn.IsNull()) redo_start = body.redo_lsn;
         break;
       }
@@ -616,7 +734,8 @@ Status StorageManager::Recover() {
       }
       case LogRecordType::kCommit:
       case LogRecordType::kAbort:
-        losers.erase(rec.txn);
+        scanned_losers.erase(rec.txn);
+        ended.insert(rec.txn);
         break;
       default:
         break;
@@ -624,13 +743,30 @@ Status StorageManager::Recover() {
     if (rec.txn != kInvalidTxnId &&
         rec.type != LogRecordType::kCommit &&
         rec.type != LogRecordType::kAbort) {
-      losers[rec.txn] = rec.lsn;
+      scanned_losers[rec.txn] = rec.lsn;
     }
     return Status::Ok();
   }));
   next_store_.store(max_store + 1, std::memory_order_relaxed);
 
-  // --- Redo: replay history from the checkpoint's low-water mark.
+  // Final loser table: record-evidenced losers, plus the last checkpoint's
+  // active transactions that never ended in the scanned region. Take the
+  // max last_lsn per transaction — records scanned after the (fuzzy)
+  // snapshot carry newer undo-chain tails than the body.
+  std::map<TxnId, Lsn> losers = std::move(scanned_losers);
+  for (const log::CheckpointTxn& t : last_checkpoint_active) {
+    if (ended.contains(t.id)) continue;
+    Lsn& slot = losers[t.id];
+    if (t.last_lsn > slot) slot = t.last_lsn;
+  }
+
+  // --- Redo: replay history from the checkpoint's low-water mark only —
+  // the whole point of the cleaner/checkpoint loop. redo_scan_bytes is
+  // the measured window; compare it against LogStats::bytes (everything
+  // ever written) to see the bound.
+  log_->NoteRedoScanBytes(log_storage_->size() -
+                          std::min(log_storage_->size(),
+                                   redo_start.value - 1));
   SHOREMT_RETURN_NOT_OK(log_->Scan(
       [&](const log::LogRecord& rec, Lsn end) {
         return RedoRecord(rec, end);

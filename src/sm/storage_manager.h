@@ -2,11 +2,13 @@
 #define SHOREMT_SM_STORAGE_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "sm/options.h"
 #include "sm/session_stats.h"
 #include "space/space_manager.h"
+#include "sync/periodic_daemon.h"
 #include "txn/txn_manager.h"
 
 namespace shoremt::sm {
@@ -133,16 +136,28 @@ class StorageManager {
 
   // --- maintenance ---------------------------------------------------------
 
-  /// Takes a fuzzy checkpoint (blocking or decoupled per options).
+  /// Takes a fuzzy checkpoint (blocking or decoupled per options): the
+  /// body snapshots the dirty-page low-water mark, the active-transaction
+  /// table (with begin LSNs) and the catalog/space maps, then the log is
+  /// recycled up to the body's redo LSN — min(dirty low-water, oldest
+  /// active transaction's begin LSN) — freeing whole segments. Recovery's
+  /// redo pass starts at that LSN. Safe to call concurrently (the
+  /// background daemon and manual callers may overlap).
   Result<Lsn> Checkpoint();
+  /// Wakes the background checkpoint daemon immediately (no-op without
+  /// one); called on log-segment pressure by the flush pipeline's hook.
+  void WakeCheckpoint();
   /// Flushes everything (clean shutdown).
   Status Shutdown();
   /// Marks the manager as crashed: the destructor skips the shutdown
   /// flush and the log pipeline abandons its final drain, so only
   /// WAL-durable state survives into the next Open — the hook recovery
   /// tests use to simulate power loss. Commits submitted through
-  /// CommitAsync but not yet acknowledged are deliberately lost.
+  /// CommitAsync but not yet acknowledged are deliberately lost. The
+  /// background checkpoint daemon is stopped first (a checkpoint racing
+  /// the teardown would be writing into an abandoned pipeline).
   void SimulateCrash() {
+    ckpt_daemon_.Stop();
     crashed_ = true;
     log_->Abandon();
   }
@@ -162,6 +177,11 @@ class StorageManager {
 
   StorageManager(StorageOptions options, io::Volume* volume,
                  log::LogStorage* log_storage);
+
+  /// Starts the checkpoint daemon (if configured) — called by Open AFTER
+  /// recovery, so a background checkpoint can never interleave with the
+  /// redo/undo passes.
+  void StartCheckpointDaemon();
 
   /// Reads the row for `key` into `out` (reused across calls by sessions)
   /// under a shared row lock. Backs both Read overload styles.
@@ -208,6 +228,23 @@ class StorageManager {
   std::atomic<uint64_t> session_seq_{1};  ///< Per-session RNG seed stream.
   SessionStatsAggregate session_stats_;
   bool crashed_ = false;
+
+  /// Serializes Checkpoint() end to end (snapshot → record → recycle):
+  /// overlapping checkpoints could append their records out of snapshot
+  /// order, letting recovery adopt a stale active-transaction table whose
+  /// commit records a fresher checkpoint already recycled. Also guards
+  /// the snapshot-cadence state below.
+  std::mutex ckpt_api_mutex_;
+  Lsn last_snapshot_ckpt_;           ///< Newest snapshot-carrying record.
+  size_t ckpts_since_snapshot_ = 0;  ///< Counter toward the next snapshot.
+
+  /// Background checkpoint daemon (shared cv-daemon scaffold, like the
+  /// page cleaner): interval tick + pressure wakes, with kick storms
+  /// rate-limited to half the interval — a checkpoint that just ran
+  /// cannot advance the low-water mark until the cleaner has moved it,
+  /// and each checkpoint appends (and flushes) its own record, so
+  /// unthrottled pressure would feed the very growth it reacts to.
+  sync::PeriodicDaemon ckpt_daemon_;
 };
 
 }  // namespace shoremt::sm

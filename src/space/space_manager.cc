@@ -273,9 +273,9 @@ Status SpaceManager::ApplyCreateStore(StoreId store) {
 
 Status SpaceManager::ApplyAllocPage(StoreId store, PageNum page) {
   sync::ConfigurableMutex::Guard guard(space_mutex_);
-  auto it = stores_.find(store);
-  if (it == stores_.end()) return Status::NotFound("no such store");
-  StoreInfo& info = it->second;
+  // A missing store means its kCreateStore record sits below the recycled
+  // horizon; materialize it — the checkpoint snapshot confirms it later.
+  StoreInfo& info = stores_.try_emplace(store, StoreInfo{}).first->second;
   ExtentId extent = ExtentOf(page);
   while (extents_.size() <= extent) extents_.push_back(ExtentEntry{});
   ExtentEntry& e = extents_[extent];
@@ -302,6 +302,17 @@ Status SpaceManager::ApplyAllocPage(StoreId store, PageNum page) {
     SHOREMT_RETURN_NOT_OK(volume_->Extend(needed));
   }
   return Status::Ok();
+}
+
+std::vector<std::pair<StoreId, std::vector<PageNum>>>
+SpaceManager::SnapshotStores() const {
+  sync::ConfigurableMutex::Guard guard(space_mutex_);
+  std::vector<std::pair<StoreId, std::vector<PageNum>>> out;
+  out.reserve(stores_.size());
+  for (const auto& [store, info] : stores_) {
+    out.emplace_back(store, info.pages);
+  }
+  return out;
 }
 
 }  // namespace shoremt::space

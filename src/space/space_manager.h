@@ -85,9 +85,20 @@ class SpaceManager {
   /// Number of pages allocated to `store`.
   Result<uint64_t> PageCountOf(StoreId store) const;
 
-  /// Idempotent redo hooks used by recovery to rebuild the maps.
+  /// Idempotent redo hooks used by recovery to rebuild the maps. With a
+  /// recycled log the kCreateStore record may be gone (it lives below the
+  /// checkpoint horizon, replaced by the checkpoint's space snapshot), so
+  /// ApplyAllocPage creates a missing store instead of failing — the
+  /// snapshot fills in the rest when the scan reaches the checkpoint.
   Status ApplyCreateStore(StoreId store);
   Status ApplyAllocPage(StoreId store, PageNum page);
+
+  /// Fuzzy snapshot of every store's page list (allocation order), taken
+  /// under the space mutex — the checkpoint body's space map. Replaying it
+  /// through the Apply hooks reproduces the allocation state without the
+  /// (possibly recycled) metadata records.
+  std::vector<std::pair<StoreId, std::vector<PageNum>>> SnapshotStores()
+      const;
 
   const SpaceStats& stats() const { return stats_; }
   const SpaceOptions& options() const { return options_; }

@@ -1,0 +1,101 @@
+#ifndef SHOREMT_SYNC_PERIODIC_DAEMON_H_
+#define SHOREMT_SYNC_PERIODIC_DAEMON_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace shoremt::sync {
+
+/// The cv-driven background-service scaffold shared by the page cleaner
+/// and the checkpoint daemon: one thread runs `pass` on every interval
+/// tick and on every Wake() kick, sleeps on a condition variable in
+/// between (never a busy-wait), and tears down with the stop-under-lock →
+/// notify → join sequence exactly once, here. `min_gap` (optional)
+/// rate-limits kick storms: after a pass, kicks are absorbed until the
+/// gap has elapsed — for services whose pass cannot make progress twice
+/// in quick succession (a checkpoint cannot advance the low-water mark
+/// until the cleaner has moved it, and each one appends its own record).
+///
+/// The flush pipeline keeps its bespoke loop: its daemon multiplexes
+/// submission batching, error parking, callback dispatch and a final
+/// drain — a different shape, not a periodic pass.
+class PeriodicDaemon {
+ public:
+  PeriodicDaemon() = default;
+  ~PeriodicDaemon() { Stop(); }
+
+  PeriodicDaemon(const PeriodicDaemon&) = delete;
+  PeriodicDaemon& operator=(const PeriodicDaemon&) = delete;
+
+  /// Starts the thread. Call at most once; `pass` runs on the daemon
+  /// thread and must not call back into Start/Stop.
+  void Start(std::chrono::microseconds interval,
+             std::function<void()> pass,
+             std::chrono::microseconds min_gap = {}) {
+    pass_ = std::move(pass);
+    interval_ = interval;
+    min_gap_ = min_gap;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  /// Wakes the daemon for an immediate pass (no-op if not started —
+  /// safe for hooks wired before/after the daemon's lifetime).
+  void Wake() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      kick_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// Stops and joins; idempotent, safe when never started.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    auto last = std::chrono::steady_clock::now() - interval_;
+    while (!stop_) {
+      cv_.wait_for(lk, interval_, [&] { return stop_ || kick_; });
+      if (stop_) break;
+      if (min_gap_.count() > 0) {
+        auto now = std::chrono::steady_clock::now();
+        if (now - last < min_gap_) {
+          // Absorb kicks until the gap elapses (stop still interrupts).
+          cv_.wait_for(lk, min_gap_ - (now - last), [&] { return stop_; });
+          if (stop_) break;
+        }
+      }
+      kick_ = false;
+      lk.unlock();
+      pass_();
+      lk.lock();
+      last = std::chrono::steady_clock::now();
+    }
+  }
+
+  std::function<void()> pass_;
+  std::chrono::microseconds interval_{0};
+  std::chrono::microseconds min_gap_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool kick_ = false;  ///< Guarded by mutex_.
+  bool stop_ = false;  ///< Guarded by mutex_.
+  std::thread thread_;
+};
+
+}  // namespace shoremt::sync
+
+#endif  // SHOREMT_SYNC_PERIODIC_DAEMON_H_

@@ -1,6 +1,7 @@
 #ifndef SHOREMT_TXN_TRANSACTION_H_
 #define SHOREMT_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/types.h"
@@ -21,11 +22,24 @@ struct Transaction {
   TxnId id = kInvalidTxnId;
   TxnState state = TxnState::kActive;
 
+  /// Log append horizon when the transaction began (assigned by
+  /// TxnManager::Begin, before the transaction enters the active table):
+  /// every record the transaction will ever write lands at or above it.
+  /// Checkpoints floor the redo/recycle horizon with the minimum begin_lsn
+  /// over active transactions, so no live undo chain and no redo-relevant
+  /// update can ever sit in a recycled segment.
+  Lsn begin_lsn;
   /// First/last WAL record of this transaction (undo chain endpoints).
+  /// Owner-thread-private, like every plain field here.
   Lsn first_lsn;
   Lsn last_lsn;
   /// End LSN of the newest record (commit-flush target).
   Lsn last_end;
+  /// Atomic mirror of last_lsn, published by NoteLogged: the ONLY chain
+  /// field a fuzzy checkpoint may read — the snapshot races the owner
+  /// thread's appends by design (staleness is tolerated; recovery merges
+  /// the checkpoint table with the records it scans).
+  std::atomic<uint64_t> last_lsn_published{0};
 
   /// WAL bytes appended on behalf of this transaction (record payloads
   /// between start and end LSN). Thread-private: feeds the owning

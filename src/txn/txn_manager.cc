@@ -11,6 +11,10 @@ TxnManager::TxnManager(log::LogManager* log, lock::LockManager* locks,
 Transaction* TxnManager::Begin() {
   auto txn = std::make_unique<Transaction>();
   txn->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Read the append horizon BEFORE entering the active table: once a
+  // checkpoint can see this transaction, begin_lsn already bounds every
+  // record it will write (the recycle-floor invariant).
+  txn->begin_lsn = log_->next_lsn();
   txn->locks = locks_->Attach(txn->id);
   Transaction* raw = txn.get();
   {
@@ -154,25 +158,47 @@ TxnId TxnManager::OldestActiveTxn() const {
 }
 
 Result<Lsn> TxnManager::TakeCheckpoint(
-    const std::function<Lsn()>& redo_lsn_source) {
+    const std::function<Lsn()>& redo_lsn_source,
+    const std::function<void(log::CheckpointBody*)>& augment,
+    Lsn* redo_lsn_out) {
   log::CheckpointBody body;
   {
     // Freeze begins/ends while snapshotting the transaction table. The
     // expensive part is redo_lsn_source: the blocking variant scans the
     // whole buffer pool in here (original Shore); the decoupled variant
-    // just reads the cleaner's LSN.
+    // just reads the dirty-page table's incremental minimum.
     std::lock_guard<std::mutex> guard(active_mutex_);
+    Lsn floor;
     for (const auto& [id, txn] : active_) {
-      body.active_txns.emplace_back(id, txn->last_lsn);
+      // last_lsn_published, not last_lsn: the owner thread may be
+      // appending right now — the mirror is the field published for
+      // exactly this fuzzy read (recovery tolerates its staleness).
+      body.active_txns.push_back(
+          {id, Lsn{txn->last_lsn_published.load(std::memory_order_acquire)},
+           txn->begin_lsn});
+      if (floor.IsNull() || txn->begin_lsn < floor) floor = txn->begin_lsn;
     }
-    body.redo_lsn = redo_lsn_source();
+    Lsn redo = redo_lsn_source();
+    // Floor by the oldest active transaction's begin LSN: it covers (a)
+    // undo chains, which must stay readable below any recycled horizon,
+    // and (b) the fuzzy MarkDirty window — a record appended but not yet
+    // registered in the dirty-page table always belongs to an active
+    // transaction, whose begin_lsn bounds it.
+    if (!floor.IsNull() && floor < redo) redo = floor;
+    body.redo_lsn = redo;
   }
+  // The catalog/space snapshots are fuzzy (their own latches, outside the
+  // transaction freeze): analysis re-applies post-snapshot metadata
+  // records through idempotent hooks, so over-inclusion is harmless.
+  if (augment) augment(&body);
   log::LogRecord rec;
   rec.type = log::LogRecordType::kCheckpoint;
   SerializeCheckpoint(body, &rec.after);
   SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(rec));
   SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
   last_checkpoint_.store(a.lsn.value, std::memory_order_release);
+  log_->NoteCheckpoint();
+  if (redo_lsn_out != nullptr) *redo_lsn_out = body.redo_lsn;
   return a.lsn;
 }
 

@@ -150,8 +150,20 @@ class TxnManager {
   /// Writes a checkpoint record. `redo_lsn_source` supplies the dirty-page
   /// low-water mark: the blocking variant scans the buffer pool while
   /// holding the transaction list still; the decoupled variant reads the
-  /// page cleaner's tracked LSN (§7.7). Returns the checkpoint's LSN.
-  Result<Lsn> TakeCheckpoint(const std::function<Lsn()>& redo_lsn_source);
+  /// dirty-page table's incremental minimum (§7.7). The body's redo_lsn is
+  /// that value floored by the minimum begin LSN over active transactions,
+  /// which makes it simultaneously the redo scan start AND a safe
+  /// log-recycling horizon (no live undo chain below it). `augment`, if
+  /// provided, runs after the transaction-table snapshot to add the
+  /// catalog/space snapshots to the body (the storage manager owns those).
+  /// `redo_lsn_out`, if non-null, receives the body's redo_lsn — the LSN
+  /// the caller may Recycle the log up to once this returns (the
+  /// checkpoint record is already durable then). Returns the checkpoint's
+  /// LSN.
+  Result<Lsn> TakeCheckpoint(
+      const std::function<Lsn()>& redo_lsn_source,
+      const std::function<void(log::CheckpointBody*)>& augment = {},
+      Lsn* redo_lsn_out = nullptr);
 
   /// LSN of the most recent completed checkpoint (null if none).
   Lsn last_checkpoint() const {
@@ -165,6 +177,7 @@ class TxnManager {
   void NoteLogged(Transaction* txn, Lsn lsn, Lsn end) {
     if (txn->first_lsn.IsNull()) txn->first_lsn = lsn;
     txn->last_lsn = lsn;
+    txn->last_lsn_published.store(lsn.value, std::memory_order_release);
     txn->last_end = end;
     txn->log_bytes += end.value - lsn.value;
   }

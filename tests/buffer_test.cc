@@ -179,7 +179,7 @@ TEST_P(BufferPoolTest, NewPageWriteReadBack) {
     sp.Init(3, 1, page::PageType::kData);
     uint8_t rec[] = {1, 2, 3};
     ASSERT_TRUE(sp.Insert(rec).ok());
-    h->MarkDirty(Lsn{100});
+    h->MarkDirty(Lsn{100}, Lsn{100});
   }
   {
     auto h = pool.FixPage(3, LatchMode::kShared);
@@ -203,7 +203,7 @@ TEST_P(BufferPoolTest, EvictionPersistsDirtyPages) {
     sp.Init(p, 1, page::PageType::kData);
     std::vector<uint8_t> rec(8, static_cast<uint8_t>(p));
     ASSERT_TRUE(sp.Insert(rec).ok());
-    h->MarkDirty(Lsn{p});
+    h->MarkDirty(Lsn{p}, Lsn{p});
   }
   EXPECT_GT(pool.stats().evictions.load(), 0u);
   EXPECT_GT(pool.stats().dirty_writebacks.load(), 0u);
@@ -228,7 +228,7 @@ TEST_P(BufferPoolTest, PinnedPagesAreNotEvicted) {
     auto h = pool.NewPage(p);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), p, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{p});
+    h->MarkDirty(Lsn{p}, Lsn{p});
   }
   // The pinned frame still holds our bytes.
   EXPECT_EQ(pinned->data()[10], 0xEE);
@@ -308,7 +308,7 @@ TEST(BufferPoolSingleTest, WalHookRunsBeforeDirtyWriteback) {
     auto h = pool.NewPage(p);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), p, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{p * 10});
+    h->MarkDirty(Lsn{p * 10}, Lsn{p * 10});
   }
   ASSERT_TRUE(pool.FlushAll().ok());
   EXPECT_GE(flushed_lsns.size(), 12u);
@@ -324,7 +324,7 @@ TEST(BufferPoolSingleTest, FlushPageClearsDirty) {
     auto h = pool.NewPage(2);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), 2, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{5});
+    h->MarkDirty(Lsn{5}, Lsn{5});
   }
   EXPECT_EQ(pool.ScanMinRecLsn().value, 5u);
   ASSERT_TRUE(pool.FlushPage(2).ok());
@@ -341,7 +341,7 @@ TEST(BufferPoolSingleTest, ScanMinRecLsnFindsOldest) {
     auto h = pool.NewPage(p);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), p, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{100 - p * 10});  // 90, 80, 70.
+    h->MarkDirty(Lsn{100 - p * 10}, Lsn{100 - p * 10});  // 90, 80, 70.
   }
   EXPECT_EQ(pool.ScanMinRecLsn().value, 70u);
 }
@@ -354,7 +354,7 @@ TEST(BufferPoolSingleTest, CleanerSweepWritesAndTracksLsn) {
     auto h = pool.NewPage(p);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), p, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{p * 7});
+    h->MarkDirty(Lsn{p * 7}, Lsn{p * 7});
   }
   ASSERT_TRUE(pool.CleanerSweep().ok());
   EXPECT_EQ(pool.stats().cleaner_writes.load(), 4u);
@@ -373,7 +373,7 @@ TEST(BufferPoolSingleTest, BackgroundCleanerRuns) {
     auto h = pool.NewPage(1);
     ASSERT_TRUE(h.ok());
     page::FormatPage(h->data(), 1, 1, page::PageType::kData);
-    h->MarkDirty(Lsn{1});
+    h->MarkDirty(Lsn{1}, Lsn{1});
   }
   // Wait for at least one sweep to pick it up.
   for (int i = 0; i < 200 && pool.stats().cleaner_writes.load() == 0; ++i) {
@@ -424,7 +424,7 @@ TEST(BufferPoolSingleTest, ConcurrentFixStormKeepsDataIntact) {
     uint64_t zero = 0;
     ASSERT_TRUE(
         sp.Insert({reinterpret_cast<uint8_t*>(&zero), sizeof(zero)}).ok());
-    h->MarkDirty(Lsn{1});
+    h->MarkDirty(Lsn{1}, Lsn{1});
   }
   // 4 threads increment counters on random pages under EX latches.
   std::vector<std::thread> workers;
@@ -444,7 +444,7 @@ TEST(BufferPoolSingleTest, ConcurrentFixStormKeepsDataIntact) {
         ++v;
         ASSERT_TRUE(
             sp.Update(0, {reinterpret_cast<uint8_t*>(&v), sizeof(v)}).ok());
-        h->MarkDirty(Lsn{v});
+        h->MarkDirty(Lsn{v}, Lsn{v});
       }
     });
   }

@@ -66,15 +66,28 @@ TEST(LogRecordTest, TruncatedDataIsCorruption) {
 TEST(LogRecordTest, CheckpointBodyRoundtrip) {
   CheckpointBody body;
   body.redo_lsn = Lsn{777};
-  body.active_txns = {{1, Lsn{10}}, {5, Lsn{99}}};
+  body.active_txns = {{1, Lsn{10}, Lsn{3}}, {5, Lsn{99}, Lsn{42}}};
+  body.tables = {{0xaa, 0xbb}, {0xcc}};
+  body.stores = {{7, {1, 2, 9}}, {8, {}}};
   std::vector<uint8_t> bytes;
   SerializeCheckpoint(body, &bytes);
   CheckpointBody back;
   ASSERT_TRUE(DeserializeCheckpoint(bytes, &back).ok());
   EXPECT_EQ(back.redo_lsn, Lsn{777});
   ASSERT_EQ(back.active_txns.size(), 2u);
-  EXPECT_EQ(back.active_txns[1].first, 5u);
-  EXPECT_EQ(back.active_txns[1].second, Lsn{99});
+  EXPECT_EQ(back.active_txns[1].id, 5u);
+  EXPECT_EQ(back.active_txns[1].last_lsn, Lsn{99});
+  EXPECT_EQ(back.active_txns[1].first_lsn, Lsn{42});
+  ASSERT_EQ(back.tables.size(), 2u);
+  EXPECT_EQ(back.tables[0], (std::vector<uint8_t>{0xaa, 0xbb}));
+  ASSERT_EQ(back.stores.size(), 2u);
+  EXPECT_EQ(back.stores[0].first, 7u);
+  EXPECT_EQ(back.stores[0].second, (std::vector<PageNum>{1, 2, 9}));
+  EXPECT_TRUE(back.stores[1].second.empty());
+  // A truncated body must surface as corruption, not a bogus parse.
+  std::span<const uint8_t> half(bytes.data(), bytes.size() / 2);
+  EXPECT_EQ(DeserializeCheckpoint(half, &back).code(),
+            StatusCode::kCorruption);
 }
 
 TEST(LogStorageTest, AppendAndRead) {

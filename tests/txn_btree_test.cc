@@ -376,17 +376,34 @@ TEST(TxnManagerTest, LockEscalationAfterThreshold) {
 TEST(TxnManagerTest, CheckpointRecordsActiveTxns) {
   ComponentHarness h;
   auto* t1 = h.txns_.Begin();
-  auto ck = h.txns_.TakeCheckpoint([] { return Lsn{123}; });
+  Lsn redo_out;
+  auto ck = h.txns_.TakeCheckpoint([] { return Lsn{123}; }, {}, &redo_out);
   ASSERT_TRUE(ck.ok());
   EXPECT_EQ(h.txns_.last_checkpoint(), *ck);
   auto rec = h.log_.ReadRecord(*ck);
   ASSERT_TRUE(rec.ok());
   log::CheckpointBody body;
   ASSERT_TRUE(DeserializeCheckpoint(rec->after, &body).ok());
-  EXPECT_EQ(body.redo_lsn, Lsn{123});
+  // The redo LSN is floored by the oldest active transaction's begin LSN
+  // (t1 began before the source's 123): recycling below it would cut a
+  // live undo chain.
+  EXPECT_EQ(body.redo_lsn, t1->begin_lsn);
+  EXPECT_EQ(redo_out, body.redo_lsn);
   ASSERT_EQ(body.active_txns.size(), 1u);
-  EXPECT_EQ(body.active_txns[0].first, t1->id);
+  EXPECT_EQ(body.active_txns[0].id, t1->id);
+  EXPECT_EQ(body.active_txns[0].first_lsn, t1->begin_lsn);
   ASSERT_TRUE(h.txns_.Commit(t1).ok());
+
+  // With no active transactions the source value stands.
+  auto ck2 = h.txns_.TakeCheckpoint([&] { return h.log_.next_lsn(); }, {},
+                                    &redo_out);
+  ASSERT_TRUE(ck2.ok());
+  auto rec2 = h.log_.ReadRecord(*ck2);
+  ASSERT_TRUE(rec2.ok());
+  ASSERT_TRUE(DeserializeCheckpoint(rec2->after, &body).ok());
+  EXPECT_EQ(body.redo_lsn, redo_out);
+  EXPECT_EQ(body.redo_lsn, *ck2);  // next_lsn at snapshot = this record.
+  EXPECT_TRUE(body.active_txns.empty());
 }
 
 }  // namespace
