@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "io/volume.h"
 #include "log/log_storage.h"
+#include "obs/profiling_thread.h"
 #include "sm/session.h"
 #include "sm/storage_manager.h"
 #include "workload/driver.h"
@@ -73,6 +74,19 @@ void RunRealEnginePanel() {
       std::vector<std::unique_ptr<sm::Session>> sessions;
       for (int i = 0; i < t; ++i) sessions.push_back(db->OpenSession());
       uint64_t window_ms = bench::FullMode() ? 800 : 250;
+      // Async runs stream the live metrics feed (per-interval counter
+      // deltas incl. log/cleaner/checkpoint lifecycle + tick latency
+      // quantiles) instead of the old one-shot post-run stats dump.
+      std::unique_ptr<obs::ProfilingThread> profiler;
+      if (mode == CommitMode::kAsync) {
+        obs::ProfilingOptions prof_opts;
+        prof_opts.interval = std::chrono::microseconds(
+            bench::FullMode() ? 1'000'000 : 200'000);
+        prof_opts.prefix = "       live ";
+        profiler = std::make_unique<obs::ProfilingThread>(db->metrics(),
+                                                          prof_opts);
+        profiler->Start();
+      }
       // Counter baselines taken after load, before the drivers: numerator
       // and denominator below both cover the terminals' full activity
       // (warmup included), so flushes/txn windows match.
@@ -92,6 +106,7 @@ void RunRealEnginePanel() {
         return RunNewOrder(sessions[worker].get(), &tpcc,
                            1 + worker % cfg.warehouses, mode);
       }, drain);
+      if (profiler) profiler->Stop();
       for (auto& s : sessions) s->Harvest();
       sm::SessionStats stats = db->harvested_session_stats();
       uint64_t commits = stats.commits - base.commits;
@@ -114,14 +129,6 @@ void RunRealEnginePanel() {
           (unsigned long long)(stats.lock_waits - base.lock_waits),
           (unsigned long long)(stats.lock_cache_hits - base.lock_cache_hits),
           flushes_per_txn, txns_per_batch);
-      if (mode == CommitMode::kAsync) {
-        // Consolidation-array counters from the log layer (final stage =
-        // kCArray buffer): insert consolidation + watermark stalls.
-        bench::PrintCArrayLogStats(ls, "       log: ");
-        // Log-lifecycle loop: recycled > 0 and a small live count show the
-        // cleaner/checkpoint services keeping the log bounded in-flight.
-        bench::PrintLogLifecycleStats(db->log(), "       ");
-      }
     }
   }
   std::printf("expected: async commit amortizes device flushes across the "

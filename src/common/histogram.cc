@@ -27,6 +27,15 @@ void Histogram::Add(uint64_t value_ns) {
   ++buckets_[BucketFor(value_ns)];
 }
 
+void Histogram::AddCount(uint64_t value_ns, uint64_t count) {
+  if (count == 0) return;
+  count_ += count;
+  sum_ += value_ns * count;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+  buckets_[BucketFor(value_ns)] += count;
+}
+
 void Histogram::Merge(const Histogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;

@@ -15,6 +15,9 @@ class Histogram {
 
   /// Records one sample.
   void Add(uint64_t value_ns);
+  /// Records `count` samples of the same value in one step (bulk import —
+  /// how live metric snapshots re-materialize their bucket counts).
+  void AddCount(uint64_t value_ns, uint64_t count);
   /// Adds all samples from `other` into this histogram.
   void Merge(const Histogram& other);
   /// Forgets all samples.
@@ -26,6 +29,12 @@ class Histogram {
   double Mean() const;
   /// Approximate p-quantile (e.g. 0.5, 0.99) from bucket interpolation.
   uint64_t Percentile(double p) const;
+  /// Alias of Percentile under the conventional metrics name.
+  uint64_t ValueAtQuantile(double q) const { return Percentile(q); }
+  /// The tail quantiles every latency report leads with.
+  uint64_t P50() const { return Percentile(0.5); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
 
   /// One-line summary: count/mean/p50/p99/max.
   std::string Summary() const;

@@ -1,0 +1,156 @@
+#ifndef SHOREMT_OBS_METRICS_H_
+#define SHOREMT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace shoremt::obs {
+
+/// The engine-wide live counter set: every row of the profiling feed and
+/// every column of the registry snapshot is one of these. Worker-written
+/// metrics (transaction lifecycle, DML, lock waits, log bytes) live in
+/// per-worker WorkerCounters blocks; engine-global metrics (buffer pool,
+/// log lifecycle, lock table) are pulled from the existing stats structs
+/// through registered sources at aggregation time — the subsystems keep
+/// their structs, the registry is the union view.
+enum class Metric : uint32_t {
+  kTxnBegins = 0,
+  kTxnCommits,
+  kTxnAborts,
+  kReads,
+  kUpdates,
+  kInserts,
+  kDeletes,
+  kScanRows,  ///< Rows returned through cursors (scan workloads).
+  kRmws,      ///< Read-modify-write round trips (workload-level, YCSB F).
+  kLockWaits,
+  kLockAcquired,
+  kLogBytes,
+  kLogRecords,
+  kGroupBatches,
+  kBufferHits,
+  kBufferMisses,
+  kCleanerWritebacks,
+  kCheckpoints,
+  kSegmentsRecycled,
+};
+
+inline constexpr size_t kMetricCount = 19;
+
+constexpr std::string_view MetricName(Metric m) {
+  switch (m) {
+    case Metric::kTxnBegins: return "txn_begins";
+    case Metric::kTxnCommits: return "txn_commits";
+    case Metric::kTxnAborts: return "txn_aborts";
+    case Metric::kReads: return "reads";
+    case Metric::kUpdates: return "updates";
+    case Metric::kInserts: return "inserts";
+    case Metric::kDeletes: return "deletes";
+    case Metric::kScanRows: return "scan_rows";
+    case Metric::kRmws: return "rmws";
+    case Metric::kLockWaits: return "lock_waits";
+    case Metric::kLockAcquired: return "lock_acquired";
+    case Metric::kLogBytes: return "log_bytes";
+    case Metric::kLogRecords: return "log_records";
+    case Metric::kGroupBatches: return "group_batches";
+    case Metric::kBufferHits: return "buffer_hits";
+    case Metric::kBufferMisses: return "buffer_misses";
+    case Metric::kCleanerWritebacks: return "cleaner_writebacks";
+    case Metric::kCheckpoints: return "checkpoints";
+    case Metric::kSegmentsRecycled: return "segments_recycled";
+  }
+  return "?";
+}
+
+/// Log2-bucketed latency bucket index, matching common::Histogram's
+/// bucketing so snapshots convert losslessly (bucket-for-bucket).
+inline constexpr int kLatencyBuckets = 64;
+inline int LatencyBucketFor(uint64_t value_ns) {
+  if (value_ns == 0) return 0;
+  return std::min(kLatencyBuckets - 1, 64 - std::countl_zero(value_ns));
+}
+
+/// One worker's counter block (§5's distributed-statistics design made
+/// live): the owning worker bumps with plain relaxed stores — a counter
+/// block has exactly one writer, so no RMW and no harvest latch ever
+/// appears on the hot path — while the profiling thread reads the same
+/// atomics relaxed from the side. The block is cache-line aligned so two
+/// workers' blocks never share a line.
+class alignas(64) WorkerCounters {
+ public:
+  /// Owner-only: adds `delta` (single-writer load+store, not fetch_add).
+  void Inc(Metric m, uint64_t delta = 1) {
+    std::atomic<uint64_t>& c = counters_[static_cast<size_t>(m)];
+    c.store(c.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+  }
+
+  /// Owner-only: records one transaction latency sample (nanoseconds).
+  void RecordLatency(uint64_t ns) {
+    Bump(latency_buckets_[LatencyBucketFor(ns)], 1);
+    Bump(latency_count_, 1);
+    Bump(latency_sum_, ns);
+  }
+
+  /// Any thread: current value (relaxed read of a live counter).
+  uint64_t Value(Metric m) const {
+    return counters_[static_cast<size_t>(m)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+
+  static void Bump(std::atomic<uint64_t>& c, uint64_t delta) {
+    c.store(c.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<uint64_t>, kMetricCount> counters_ = {};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_ = {};
+  std::atomic<uint64_t> latency_count_{0};
+  std::atomic<uint64_t> latency_sum_{0};
+  /// Slot state, owned by the registry (false = free).
+  std::atomic<bool> used_{false};
+};
+
+/// Cross-worker latency totals at one instant; converts to a
+/// common::Histogram (same bucket boundaries) for quantile extraction.
+struct LatencySnapshot {
+  std::array<uint64_t, kLatencyBuckets> buckets = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Re-materializes the bucket counts as a Histogram (each bucket's
+  /// samples land at its midpoint, the same representative Percentile
+  /// reports), so p50/p99/p999 come from the one quantile implementation.
+  Histogram ToHistogram() const {
+    Histogram h;
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+      uint64_t hi = i == 0 ? 1 : (1ULL << i);
+      h.AddCount(lo + (hi - lo) / 2, buckets[i]);
+    }
+    return h;
+  }
+};
+
+/// Point-in-time union of every metric across workers, retired workers
+/// and engine sources.
+struct MetricsSnapshot {
+  std::array<uint64_t, kMetricCount> totals = {};
+  LatencySnapshot latency;
+
+  uint64_t operator[](Metric m) const {
+    return totals[static_cast<size_t>(m)];
+  }
+};
+
+}  // namespace shoremt::obs
+
+#endif  // SHOREMT_OBS_METRICS_H_

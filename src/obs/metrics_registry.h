@@ -1,0 +1,86 @@
+#ifndef SHOREMT_OBS_METRICS_REGISTRY_H_
+#define SHOREMT_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace shoremt::obs {
+
+/// The engine's live metric hub, owned by the StorageManager. Two kinds of
+/// producers feed it:
+///
+///  - Workers (sessions) register a WorkerCounters block and bump it with
+///    relaxed single-writer stores; registration claims a slot from a
+///    fixed pool with one CAS and release drops it the same way, so the
+///    per-operation path and the register/unregister path are both
+///    lock-free. Unregistering folds the block's values into a retired
+///    accumulator first, so totals survive worker churn.
+///
+///  - Engine subsystems (buffer pool, log, lock table) register a source
+///    callback that adds their existing atomic stats into a snapshot at
+///    aggregation time. Sources are wired once at StorageManager
+///    construction; the mutex around the list is never on a worker path.
+///
+/// Snapshot() is the only consumer-side operation — the profiling thread
+/// calls it about once a second; it reads every live atomic relaxed, which
+/// is exact for quiescent counters and at-most-one-increment stale for hot
+/// ones. During a concurrent unregister a counter's value can transiently
+/// be missed (it is in flight between the slot and the retired fold) and
+/// reappear on the next snapshot; totals are never double-counted.
+/// Consumers that difference snapshots must clamp at zero (the
+/// ProfilingThread does).
+class MetricsRegistry {
+ public:
+  /// Upper bound on concurrently registered workers. Registration past
+  /// this returns nullptr and the caller runs unmetered (never fails).
+  static constexpr size_t kMaxWorkers = 256;
+
+  /// Adds totals into `*totals` (never overwrites) when invoked at
+  /// snapshot time. Must be safe to call from any thread.
+  using Source = std::function<void(std::array<uint64_t, kMetricCount>*)>;
+
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Claims a free worker block (zeroed); nullptr when all slots are in
+  /// use. Lock-free: one acquire-CAS per probed slot.
+  WorkerCounters* RegisterWorker();
+
+  /// Releases `wc` (a pointer previously returned by RegisterWorker):
+  /// folds its counters into the retired accumulator — totals keep every
+  /// contribution ever made — and frees the slot for the next worker.
+  /// The owning worker must have stopped writing.
+  void UnregisterWorker(WorkerCounters* wc);
+
+  /// Registers an engine-side aggregation source (construction-time
+  /// wiring; not a hot path).
+  void AddSource(Source source);
+
+  /// Aggregates retired + every worker block + every source.
+  MetricsSnapshot Snapshot() const;
+
+  /// Currently claimed worker slots (diagnostics/tests).
+  size_t active_workers() const;
+
+ private:
+  std::unique_ptr<WorkerCounters[]> slots_;
+  /// Fold target for unregistered workers; multi-writer (fetch_add).
+  std::array<std::atomic<uint64_t>, kMetricCount> retired_ = {};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> retired_latency_ = {};
+  std::atomic<uint64_t> retired_latency_count_{0};
+  std::atomic<uint64_t> retired_latency_sum_{0};
+
+  mutable std::mutex source_mutex_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace shoremt::obs
+
+#endif  // SHOREMT_OBS_METRICS_REGISTRY_H_

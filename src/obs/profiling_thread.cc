@@ -1,0 +1,147 @@
+#include "obs/profiling_thread.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace shoremt::obs {
+
+namespace {
+
+/// Per-tick latency percentiles from bucket deltas.
+struct TickLatency {
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+TickLatency LatencyOfTick(const LatencySnapshot& cur,
+                          const LatencySnapshot& prev) {
+  LatencySnapshot delta;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    uint64_t c = cur.buckets[i];
+    uint64_t p = prev.buckets[i];
+    delta.buckets[i] = c > p ? c - p : 0;
+    delta.count += delta.buckets[i];
+  }
+  TickLatency out;
+  if (delta.count == 0) return out;
+  Histogram h = delta.ToHistogram();
+  out.p50 = h.P50();
+  out.p99 = h.P99();
+  out.p999 = h.P999();
+  return out;
+}
+
+}  // namespace
+
+ProfilingThread::ProfilingThread(MetricsRegistry* registry,
+                                 ProfilingOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ProfilingThread::~ProfilingThread() { Stop(); }
+
+void ProfilingThread::Emit(const std::string& line) {
+  if (options_.sink) {
+    options_.sink(line);
+  } else {
+    std::fprintf(stdout, "%s\n", line.c_str());
+    std::fflush(stdout);
+  }
+}
+
+void ProfilingThread::EmitHeader() {
+  std::string header = options_.prefix + "tick,elapsed_s";
+  for (size_t i = 0; i < kMetricCount; ++i) {
+    header += ',';
+    header += MetricName(static_cast<Metric>(i));
+  }
+  header += ",p50_ns,p99_ns,p999_ns";
+  Emit(header);
+}
+
+void ProfilingThread::Start() {
+  if (started_) return;
+  {
+    std::lock_guard<std::mutex> guard(tick_mutex_);
+    // prev_ is deliberately NOT reset: the first tick's delta covers
+    // everything since the registry (or the previous Stop) — a feed
+    // attached late still reconciles with end-of-run totals.
+    start_ns_ = NowNanos();
+  }
+  if (options_.format == ProfilingOptions::Format::kCsv) EmitHeader();
+  daemon_.Start(options_.interval, [this] { Tick(); });
+  started_ = true;
+}
+
+void ProfilingThread::Stop() {
+  if (!started_) return;
+  daemon_.Stop();
+  // Final tick: whatever accumulated since the last daemon pass reaches
+  // the feed, so cumulative deltas equal the end-of-run totals.
+  Tick();
+  started_ = false;
+}
+
+MetricsSnapshot ProfilingThread::emitted() const {
+  std::lock_guard<std::mutex> guard(tick_mutex_);
+  return prev_;
+}
+
+void ProfilingThread::Tick() {
+  std::lock_guard<std::mutex> guard(tick_mutex_);
+  MetricsSnapshot cur = registry_->Snapshot();
+  uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  double elapsed =
+      static_cast<double>(NowNanos() - start_ns_) / 1e9;
+
+  std::array<uint64_t, kMetricCount> delta;
+  for (size_t i = 0; i < kMetricCount; ++i) {
+    uint64_t c = cur.totals[i];
+    uint64_t p = prev_.totals[i];
+    // Clamp: a transient churn dip must not underflow; the high-water
+    // prev_ keeps the cumulative account exact once the dip resolves.
+    delta[i] = c > p ? c - p : 0;
+    prev_.totals[i] = std::max(p, c);
+  }
+  TickLatency lat = LatencyOfTick(cur.latency, prev_.latency);
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    prev_.latency.buckets[i] =
+        std::max(prev_.latency.buckets[i], cur.latency.buckets[i]);
+  }
+  prev_.latency.count = std::max(prev_.latency.count, cur.latency.count);
+  prev_.latency.sum = std::max(prev_.latency.sum, cur.latency.sum);
+
+  char buf[64];
+  std::string line = options_.prefix;
+  if (options_.format == ProfilingOptions::Format::kCsv) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%.3f", tick, elapsed);
+    line += buf;
+    for (size_t i = 0; i < kMetricCount; ++i) {
+      std::snprintf(buf, sizeof(buf), ",%" PRIu64, delta[i]);
+      line += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
+                  lat.p50, lat.p99, lat.p999);
+    line += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "{\"tick\":%" PRIu64 ",\"elapsed_s\":%.3f",
+                  tick, elapsed);
+    line += buf;
+    for (size_t i = 0; i < kMetricCount; ++i) {
+      line += ",\"";
+      line += MetricName(static_cast<Metric>(i));
+      std::snprintf(buf, sizeof(buf), "\":%" PRIu64, delta[i]);
+      line += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",\"p50_ns\":%" PRIu64 ",\"p99_ns\":%" PRIu64
+                  ",\"p999_ns\":%" PRIu64 "}",
+                  lat.p50, lat.p99, lat.p999);
+    line += buf;
+  }
+  Emit(line);
+}
+
+}  // namespace shoremt::obs

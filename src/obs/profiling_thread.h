@@ -1,0 +1,100 @@
+#ifndef SHOREMT_OBS_PROFILING_THREAD_H_
+#define SHOREMT_OBS_PROFILING_THREAD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "sync/periodic_daemon.h"
+
+namespace shoremt::obs {
+
+/// Feed configuration. The default sink writes lines to stdout; benches
+/// that embed the feed in their own output set a prefix, tests capture
+/// lines through a custom sink.
+struct ProfilingOptions {
+  enum class Format : uint8_t { kCsv, kJsonLines };
+
+  /// Aggregation period (a tick). One line per tick.
+  std::chrono::microseconds interval{1'000'000};
+  Format format = Format::kCsv;
+  /// Receives each feed line (no trailing newline); called from the
+  /// profiling thread (and once from Stop's caller for the final tick).
+  /// Empty = write to stdout.
+  std::function<void(const std::string&)> sink;
+  /// Prepended to every emitted line (e.g. "live ").
+  std::string prefix;
+};
+
+/// The live observability daemon: once per interval it snapshots the
+/// MetricsRegistry, differences it against the previous tick, and emits
+/// one CSV or JSON-lines row of per-tick deltas plus the tick's latency
+/// percentiles — so every bench run doubles as a dashboard. Runs on the
+/// shared sync::PeriodicDaemon scaffold (cv-driven, no busy wait).
+///
+/// Columns: a monotonic `tick` (1-based), wall-clock `elapsed_s` since
+/// Start, one delta column per Metric (feed order = Metric order), then
+/// p50/p99/p999 of transaction latency recorded during the tick. CSV mode
+/// emits a header row at Start.
+///
+/// Deltas are clamped at zero against a high-water snapshot: a worker
+/// unregistering mid-tick can make one snapshot transiently miss its
+/// contribution (see MetricsRegistry), and clamping keeps the cumulative
+/// sum of emitted deltas equal to the registry's final totals — Stop()
+/// runs one last tick after the daemon has quiesced, so the feed always
+/// reconciles with end-of-run statistics.
+///
+/// Start/Stop are not thread-safe against each other; drive the thread
+/// from one controller (the bench main), like the other daemons.
+class ProfilingThread {
+ public:
+  ProfilingThread(MetricsRegistry* registry, ProfilingOptions options);
+  ~ProfilingThread();  ///< Stops (emitting the final tick) if running.
+
+  ProfilingThread(const ProfilingThread&) = delete;
+  ProfilingThread& operator=(const ProfilingThread&) = delete;
+
+  /// Emits the header (CSV) and starts ticking. Call at most once between
+  /// Stops.
+  void Start();
+  /// Stops the daemon, then emits one final tick covering everything
+  /// since the last one (possibly all-zero). Idempotent.
+  void Stop();
+
+  bool running() const { return started_; }
+  /// Ticks emitted so far (including Stop's final tick).
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// Cumulative deltas emitted across all ticks — what the feed has told
+  /// its consumer so far. After Stop() this equals the registry's worker +
+  /// source totals at the final tick (the reconciliation invariant the
+  /// tests pin down).
+  MetricsSnapshot emitted() const;
+
+ private:
+  void Tick();
+  void Emit(const std::string& line);
+  void EmitHeader();
+
+  MetricsRegistry* registry_;
+  ProfilingOptions options_;
+  sync::PeriodicDaemon daemon_;
+  bool started_ = false;
+
+  /// High-water marks of the last tick (monotone: never decreased by a
+  /// transient churn dip). Written only by the ticking thread; read by
+  /// emitted() under tick_mutex_.
+  MetricsSnapshot prev_;
+  /// Serializes Tick bodies (daemon pass vs Stop's final tick — they never
+  /// actually overlap because Stop joins the daemon first, but the mutex
+  /// also publishes prev_ to emitted() callers on other threads).
+  mutable std::mutex tick_mutex_;
+  std::atomic<uint64_t> ticks_{0};
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace shoremt::obs
+
+#endif  // SHOREMT_OBS_PROFILING_THREAD_H_

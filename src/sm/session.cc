@@ -1,5 +1,6 @@
 #include "sm/session.h"
 
+#include "common/clock.h"
 #include "page/slotted_page.h"
 
 namespace shoremt::sm {
@@ -13,12 +14,23 @@ std::unique_ptr<Session> StorageManager::OpenSession() {
       new Session(this, 0x5e5510aaULL ^ (seq * 0x9e3779b97f4a7c15ULL)));
 }
 
-Session::Session(StorageManager* sm, uint64_t seed) : sm_(sm), rng_(seed) {}
+Session::Session(StorageManager* sm, uint64_t seed) : sm_(sm), rng_(seed) {
+  // Live metrics block: a free slot in the manager's registry (nullptr
+  // when exhausted — the session runs unmetered, never fails to open).
+  wc_ = sm_->metrics()->RegisterWorker();
+}
 
 Session::~Session() {
   if (txn_ != nullptr) (void)Abort();
   (void)WaitAll();  // Outstanding async commits acknowledge before close.
   Harvest();
+  if (wc_ != nullptr) {
+    // Folds this worker's live counters into the registry's retired
+    // accumulator — registry totals (and the profiling feed over them)
+    // keep every contribution across session churn.
+    sm_->metrics()->UnregisterWorker(wc_);
+    wc_ = nullptr;
+  }
 }
 
 void Session::Harvest() {
@@ -39,6 +51,8 @@ Status Session::Begin() {
   }
   txn_ = sm_->txns_->Begin();
   ++stats_.begins;
+  Bump(obs::Metric::kTxnBegins);
+  txn_begin_ns_ = NowNanos();
   return Status::Ok();
 }
 
@@ -58,6 +72,10 @@ Result<txn::CommitToken> Session::SubmitCommit() {
   stats_.lock_cache_hits += token->counters.lock_cache_hits;
   stats_.log_bytes += token->counters.log_bytes;
   ++stats_.commits;
+  Bump(obs::Metric::kTxnCommits);
+  Bump(obs::Metric::kLockWaits, token->counters.lock_waits);
+  Bump(obs::Metric::kLogBytes, token->counters.log_bytes);
+  if (wc_ != nullptr) wc_->RecordLatency(NowNanos() - txn_begin_ns_);
   if (!token->durable && token->lsn > pending_ack_lsn_) {
     pending_ack_lsn_ = token->lsn;
   }
@@ -139,6 +157,9 @@ Status Session::Abort() {
   stats_.lock_cache_hits += counters.lock_cache_hits;
   stats_.log_bytes += counters.log_bytes;
   ++stats_.aborts;
+  Bump(obs::Metric::kTxnAborts);
+  Bump(obs::Metric::kLockWaits, counters.lock_waits);
+  Bump(obs::Metric::kLogBytes, counters.log_bytes);
   return st;
 }
 
@@ -163,7 +184,10 @@ Result<RecordId> Session::Insert(const TableInfo& table, uint64_t key,
                                  std::span<const uint8_t> payload) {
   SHOREMT_RETURN_NOT_OK(RequireTxn());
   Result<RecordId> rid = sm_->Insert(txn_, table, key, payload);
-  if (rid.ok()) ++stats_.inserts;
+  if (rid.ok()) {
+    ++stats_.inserts;
+    Bump(obs::Metric::kInserts);
+  }
   return rid;
 }
 
@@ -172,6 +196,7 @@ Result<std::span<const uint8_t>> Session::Read(const TableInfo& table,
   SHOREMT_RETURN_NOT_OK(RequireTxn());
   SHOREMT_RETURN_NOT_OK(sm_->ReadInto(txn_, table, key, &read_buf_));
   ++stats_.reads;
+  Bump(obs::Metric::kReads);
   return std::span<const uint8_t>(read_buf_);
 }
 
@@ -179,14 +204,20 @@ Status Session::Update(const TableInfo& table, uint64_t key,
                        std::span<const uint8_t> payload) {
   SHOREMT_RETURN_NOT_OK(RequireTxn());
   Status st = sm_->Update(txn_, table, key, payload);
-  if (st.ok()) ++stats_.updates;
+  if (st.ok()) {
+    ++stats_.updates;
+    Bump(obs::Metric::kUpdates);
+  }
   return st;
 }
 
 Status Session::Delete(const TableInfo& table, uint64_t key) {
   SHOREMT_RETURN_NOT_OK(RequireTxn());
   Status st = sm_->Delete(txn_, table, key);
-  if (st.ok()) ++stats_.deletes;
+  if (st.ok()) {
+    ++stats_.deletes;
+    Bump(obs::Metric::kDeletes);
+  }
   return st;
 }
 
@@ -301,6 +332,7 @@ Status Cursor::SettleOnRow() {
     key_ = it_.key();
     valid_ = true;
     ++session_->stats_.cursor_rows;
+    session_->Bump(obs::Metric::kScanRows);
     return Status::Ok();
   }
   return Status::Ok();  // Exhausted: cursor stays invalid.

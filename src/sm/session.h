@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sm/session_stats.h"
 #include "sm/storage_manager.h"
 
@@ -187,6 +188,12 @@ class Session {
   /// Folds the local counters into the manager's aggregate and zeroes
   /// them. Called automatically on destruction.
   void Harvest();
+  /// This worker's live metrics block in the manager's MetricsRegistry
+  /// (the feed the ProfilingThread aggregates once a second). The session
+  /// bumps the engine metrics itself; workloads bump workload-level
+  /// metrics (e.g. Metric::kRmws) through this. Null when the registry's
+  /// worker slots were exhausted — callers must tolerate it.
+  obs::WorkerCounters* counters() { return wc_; }
 
   StorageManager* manager() { return sm_; }
 
@@ -198,6 +205,11 @@ class Session {
 
   /// Guard used by every DML entry point.
   Status RequireTxn() const;
+
+  /// Live-metric bump (no-op when the registry had no free worker slot).
+  void Bump(obs::Metric m, uint64_t delta = 1) {
+    if (wc_ != nullptr) wc_->Inc(m, delta);
+  }
 
   /// Shared tail of Commit/CommitAsync: submits the commit record, rolls
   /// back on append failure, books the token into the session's pending
@@ -217,6 +229,12 @@ class Session {
   /// Highest commit LSN this session has submitted but not yet seen
   /// acknowledged (WaitAll target); null when nothing is outstanding.
   Lsn pending_ack_lsn_;
+  /// This worker's block in the manager's MetricsRegistry (null when the
+  /// slot pool was exhausted); registered at open, released at close.
+  obs::WorkerCounters* wc_ = nullptr;
+  /// Begin() timestamp of the open transaction — commit latency for the
+  /// live feed's histogram.
+  uint64_t txn_begin_ns_ = 0;
 };
 
 }  // namespace shoremt::sm

@@ -75,6 +75,38 @@ StorageManager::StorageManager(StorageOptions options, io::Volume* volume,
     pool_->WakeCleaner();
     WakeCheckpoint();
   });
+  // Live-metrics sources: the engine-global halves of the registry view.
+  // Each source reads its subsystem's existing atomic stats struct at
+  // snapshot time — the subsystems keep their structs; the registry (and
+  // the profiling feed over it) is the union. Worker-side metrics (txn
+  // lifecycle, DML, lock waits, log bytes) come from the sessions'
+  // WorkerCounters blocks instead.
+  metrics_.AddSource([this](std::array<uint64_t, obs::kMetricCount>* t) {
+    const buffer::BufferPoolStats& s = pool_->stats();
+    (*t)[static_cast<size_t>(obs::Metric::kBufferHits)] +=
+        s.hits.load(std::memory_order_relaxed) +
+        s.optimistic_hits.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kBufferMisses)] +=
+        s.misses.load(std::memory_order_relaxed);
+  });
+  metrics_.AddSource([this](std::array<uint64_t, obs::kMetricCount>* t) {
+    const log::LogStats& s = log_->stats();
+    (*t)[static_cast<size_t>(obs::Metric::kLogRecords)] +=
+        s.records.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kGroupBatches)] +=
+        s.group_batches.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kCleanerWritebacks)] +=
+        s.cleaner_writebacks.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kCheckpoints)] +=
+        s.checkpoint_count.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kSegmentsRecycled)] +=
+        s.segments_recycled.load(std::memory_order_relaxed);
+  });
+  metrics_.AddSource([this](std::array<uint64_t, obs::kMetricCount>* t) {
+    const lock::LockStats& s = locks_->stats();
+    (*t)[static_cast<size_t>(obs::Metric::kLockAcquired)] +=
+        s.acquired.load(std::memory_order_relaxed);
+  });
 }
 
 StorageManager::~StorageManager() {

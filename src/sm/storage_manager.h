@@ -20,6 +20,7 @@
 #include "io/volume.h"
 #include "lock/lock_manager.h"
 #include "log/log_manager.h"
+#include "obs/metrics_registry.h"
 #include "sm/options.h"
 #include "sm/session_stats.h"
 #include "space/space_manager.h"
@@ -89,6 +90,15 @@ class StorageManager {
   }
   /// Internal: sessions fold their local counters in through this.
   void HarvestSessionStats(const SessionStats& s) { session_stats_.Add(s); }
+
+  // --- live metrics --------------------------------------------------------
+
+  /// The live metrics hub: sessions register WorkerCounters blocks here,
+  /// the buffer/log/lock subsystems feed it through sources wired at
+  /// construction, and an obs::ProfilingThread over it turns any run into
+  /// a per-second CSV/JSON feed. Unlike harvested_session_stats(), its
+  /// Snapshot() is live — no Harvest needed.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
 
   // --- transactions (DEPRECATED shims — use Session) ----------------------
 
@@ -227,6 +237,7 @@ class StorageManager {
   std::atomic<StoreId> next_store_{1};
   std::atomic<uint64_t> session_seq_{1};  ///< Per-session RNG seed stream.
   SessionStatsAggregate session_stats_;
+  obs::MetricsRegistry metrics_;
   bool crashed_ = false;
 
   /// Serializes Checkpoint() end to end (snapshot → record → recycle):

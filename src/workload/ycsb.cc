@@ -1,0 +1,189 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+namespace shoremt::workload {
+
+namespace {
+
+/// FNV-1a over the key's bytes: spreads the Zipf generator's hot low
+/// ranks across the key space (YCSB's ScrambledZipfian), so "hot" does
+/// not mean "physically adjacent in the B-tree".
+uint64_t ScrambleKey(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Publishes key `k` as committed: readers draw from [0, visible_count).
+/// Monotonic max-CAS — inserts can commit out of claim order.
+void PublishInsert(YcsbDatabase* db, uint64_t k) {
+  uint64_t cur = db->visible_count.load(std::memory_order_relaxed);
+  while (cur < k + 1 &&
+         !db->visible_count.compare_exchange_weak(
+             cur, k + 1, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void FillYcsbPayload(uint64_t key, uint32_t field_size, uint64_t counter,
+                     std::vector<uint8_t>* out) {
+  out->resize(std::max<uint32_t>(field_size, 8));
+  for (int i = 0; i < 8; ++i) {
+    (*out)[i] = static_cast<uint8_t>(counter >> (i * 8));
+  }
+  // Key-seeded filler so every row's bytes are deterministic and distinct.
+  Rng fill(key ^ 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 8; i < out->size(); ++i) {
+    (*out)[i] = static_cast<uint8_t>(fill.Next());
+  }
+}
+
+uint64_t ReadYcsbCounter(std::span<const uint8_t> payload) {
+  if (payload.size() < 8) return 0;
+  uint64_t c = 0;
+  for (int i = 0; i < 8; ++i) {
+    c |= static_cast<uint64_t>(payload[i]) << (i * 8);
+  }
+  return c;
+}
+
+Status LoadYcsb(sm::Session* session, const YcsbConfig& cfg,
+                YcsbDatabase* db) {
+  if (cfg.record_count == 0) {
+    return Status::InvalidArgument("YCSB record_count must be > 0");
+  }
+  db->config = cfg;
+
+  SHOREMT_RETURN_NOT_OK(session->Begin());
+  SHOREMT_ASSIGN_OR_RETURN(db->usertable, session->CreateTable("usertable"));
+  SHOREMT_RETURN_NOT_OK(session->Commit());
+
+  // Batched load: each batch is one Apply (own transaction, one group-
+  // commit flush acknowledges the whole batch).
+  uint64_t batch = std::max<uint64_t>(1, cfg.load_batch);
+  std::vector<std::vector<uint8_t>> payloads(batch);
+  std::vector<sm::Op> ops;
+  for (uint64_t base = 0; base < cfg.record_count; base += batch) {
+    uint64_t n = std::min(batch, cfg.record_count - base);
+    ops.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      FillYcsbPayload(base + i, cfg.field_size, /*counter=*/0, &payloads[i]);
+      ops.push_back(sm::Op{sm::OpType::kInsert, base + i, payloads[i]});
+    }
+    SHOREMT_RETURN_NOT_OK(session->Apply(db->usertable, ops));
+  }
+  db->next_insert_key.store(cfg.record_count, std::memory_order_relaxed);
+  db->visible_count.store(cfg.record_count, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+YcsbWorker::YcsbWorker(YcsbDatabase* db, uint64_t seed)
+    : db_(db),
+      rng_(seed),
+      zipf_(db->config.record_count, std::max(db->config.zipf_theta, 0.0),
+            seed ^ 0x5ca1ab1eULL),
+      // Read-latest offsets: a fixed moderate skew toward offset 0 (the
+      // newest row), independent of the request distribution's theta.
+      latest_(db->config.record_count, 0.9, seed ^ 0x1a7e57ULL) {}
+
+uint64_t YcsbWorker::NextKey() {
+  uint64_t visible = db_->visible_count.load(std::memory_order_acquire);
+  if (db_->config.zipf_theta <= 0.0) return rng_.Uniform(visible);
+  return ScrambleKey(zipf_.Next()) % visible;
+}
+
+uint64_t YcsbWorker::NextLatestKey() {
+  uint64_t visible = db_->visible_count.load(std::memory_order_acquire);
+  uint64_t off = latest_.Next() % visible;
+  return visible - 1 - off;
+}
+
+bool RunYcsbTxn(sm::Session* session, YcsbWorker* worker, YcsbWorkload w,
+                CommitMode mode) {
+  YcsbDatabase* db = worker->db();
+  const YcsbConfig& cfg = db->config;
+  const YcsbMix mix = YcsbMixFor(w);
+  Rng& rng = worker->rng();
+
+  if (!session->Begin().ok()) return false;
+  auto fail = [&] {
+    (void)session->Abort();
+    return false;
+  };
+
+  std::vector<uint8_t> payload;
+  // Keys this transaction inserted; published to readers only when the
+  // commit goes through (an aborted insert leaves an unpublished hole).
+  uint64_t inserted[8];
+  size_t inserted_n = 0;
+
+  for (uint32_t i = 0; i < cfg.ops_per_txn; ++i) {
+    double p = rng.NextDouble();
+    if (p < mix.read) {
+      // Point read. D draws read-latest; the rest draw the request
+      // distribution. A key at the insert frontier can be a hole (its
+      // insert aborted) — an empty read, not a failure.
+      uint64_t key = w == YcsbWorkload::kD ? worker->NextLatestKey()
+                                           : worker->NextKey();
+      auto r = session->Read(db->usertable, key);
+      if (!r.ok() && !r.status().IsNotFound()) return fail();
+    } else if (p < mix.read + mix.update) {
+      uint64_t key = worker->NextKey();
+      FillYcsbPayload(key, cfg.field_size, /*counter=*/0, &payload);
+      Status st = session->Update(db->usertable, key, payload);
+      if (!st.ok() && !st.IsNotFound()) return fail();
+    } else if (p < mix.read + mix.update + mix.insert) {
+      uint64_t key =
+          db->next_insert_key.fetch_add(1, std::memory_order_relaxed);
+      FillYcsbPayload(key, cfg.field_size, /*counter=*/0, &payload);
+      if (!session->Insert(db->usertable, key, payload).ok()) return fail();
+      if (inserted_n < std::size(inserted)) inserted[inserted_n++] = key;
+    } else if (p < mix.read + mix.update + mix.insert + mix.scan) {
+      // Range scan: shared row locks over up to max_scan_len consecutive
+      // existing rows, through the pull cursor.
+      uint64_t start = worker->NextKey();
+      uint32_t len = 1 + static_cast<uint32_t>(rng.Uniform(cfg.max_scan_len));
+      sm::Cursor cur = session->OpenCursor(db->usertable);
+      Status st = cur.Seek(start);
+      if (!st.ok()) return fail();
+      uint32_t rows = 0;
+      while (cur.Valid() && ++rows < len) {
+        st = cur.Next();
+        if (!st.ok()) return fail();
+      }
+    } else {
+      // Read-modify-write: read the row, bump its embedded counter,
+      // write it back — one txn, so the increment is atomic under the
+      // row's X lock.
+      uint64_t key = worker->NextKey();
+      auto r = session->Read(db->usertable, key);
+      if (!r.ok()) {
+        if (r.status().IsNotFound()) continue;
+        return fail();
+      }
+      uint64_t c = ReadYcsbCounter(*r);
+      FillYcsbPayload(key, cfg.field_size, c + 1, &payload);
+      if (!session->Update(db->usertable, key, payload).ok()) return fail();
+      if (session->counters() != nullptr) {
+        session->counters()->Inc(obs::Metric::kRmws);
+      }
+    }
+  }
+
+  bool ok = mode == CommitMode::kAsync ? session->CommitAsync().ok()
+                                       : session->Commit().ok();
+  if (ok) {
+    for (size_t i = 0; i < inserted_n; ++i) PublishInsert(db, inserted[i]);
+  }
+  return ok;
+}
+
+}  // namespace shoremt::workload

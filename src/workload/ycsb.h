@@ -1,0 +1,131 @@
+#ifndef SHOREMT_WORKLOAD_YCSB_H_
+#define SHOREMT_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sm/session.h"
+#include "sm/storage_manager.h"
+#include "workload/tpcc.h"  // CommitMode
+
+namespace shoremt::workload {
+
+/// YCSB core workloads A–F over the Session API: the skew/tail scenario
+/// the TPC-C mix does not exercise. One table ("usertable"), 64-bit keys,
+/// fixed-size opaque payloads; request distribution is uniform or Zipfian
+/// (common::ZipfGenerator) with the skew theta swept by the contention
+/// panel in bench/fig_ycsb.cc.
+struct YcsbConfig {
+  uint64_t record_count = 10'000;  ///< Keys loaded as [0, record_count).
+  uint32_t field_size = 100;       ///< Payload bytes per row (>= 8).
+  /// Zipfian skew of the request distribution; 0 = uniform (drawn from
+  /// the session RNG, not the Zipf generator).
+  double zipf_theta = 0.0;
+  uint32_t max_scan_len = 50;  ///< Scan length drawn from [1, max].
+  uint32_t ops_per_txn = 1;    ///< YCSB's default: one op per transaction.
+  uint64_t load_batch = 256;   ///< Rows per loader transaction.
+};
+
+/// The six core workloads and their operation mixes.
+enum class YcsbWorkload : uint8_t { kA, kB, kC, kD, kE, kF };
+
+constexpr std::string_view YcsbName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA: return "A";  // 50% read / 50% update
+    case YcsbWorkload::kB: return "B";  // 95% read /  5% update
+    case YcsbWorkload::kC: return "C";  // 100% read
+    case YcsbWorkload::kD: return "D";  // 95% read-latest / 5% insert
+    case YcsbWorkload::kE: return "E";  // 95% scan / 5% insert
+    case YcsbWorkload::kF: return "F";  // 50% read / 50% read-modify-write
+  }
+  return "?";
+}
+
+/// Operation mix (fractions sum to 1).
+struct YcsbMix {
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+};
+
+constexpr YcsbMix YcsbMixFor(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA: return {0.50, 0.50, 0, 0, 0};
+    case YcsbWorkload::kB: return {0.95, 0.05, 0, 0, 0};
+    case YcsbWorkload::kC: return {1.00, 0, 0, 0, 0};
+    case YcsbWorkload::kD: return {0.95, 0, 0.05, 0, 0};
+    case YcsbWorkload::kE: return {0, 0, 0.05, 0.95, 0};
+    case YcsbWorkload::kF: return {0.50, 0, 0, 0, 0.50};
+  }
+  return {};
+}
+
+/// The loaded database. Not copyable: the insert frontier is shared
+/// mutable state between workers (D and E insert concurrently).
+struct YcsbDatabase {
+  YcsbConfig config;
+  sm::TableInfo usertable;
+  /// Next key an inserter claims (starts at record_count).
+  std::atomic<uint64_t> next_insert_key{0};
+  /// Keys [0, visible_count) whose inserts have committed — readers and
+  /// scanners draw only from these, so a chosen key always exists (YCSB
+  /// never deletes). Advanced after commit with a max-CAS.
+  std::atomic<uint64_t> visible_count{0};
+
+  YcsbDatabase() = default;
+  YcsbDatabase(const YcsbDatabase&) = delete;
+  YcsbDatabase& operator=(const YcsbDatabase&) = delete;
+};
+
+/// Fills `out` (resized to field_size) with the deterministic payload for
+/// `key`: the first 8 bytes hold a little-endian RMW counter starting at
+/// `counter`, the rest is a key-seeded byte pattern. ReadYcsbCounter
+/// extracts the counter; together they make F's read-modify-write
+/// verifiable end to end.
+void FillYcsbPayload(uint64_t key, uint32_t field_size, uint64_t counter,
+                     std::vector<uint8_t>* out);
+uint64_t ReadYcsbCounter(std::span<const uint8_t> payload);
+
+/// Creates and loads "usertable" with keys [0, record_count) through
+/// `session` (no open transaction; the loader batches its own commits).
+Status LoadYcsb(sm::Session* session, const YcsbConfig& cfg,
+                YcsbDatabase* db);
+
+/// Per-worker request-generation state: the Zipf generator is seeded per
+/// worker (deterministic for a fixed seed) and scrambled so the hot keys
+/// are spread over the key space instead of clustering at 0, as YCSB's
+/// ScrambledZipfian does.
+class YcsbWorker {
+ public:
+  YcsbWorker(YcsbDatabase* db, uint64_t seed);
+
+  /// Draws the key for a read/update/scan/rmw request: uniform or
+  /// scrambled-Zipfian over the committed keys.
+  uint64_t NextKey();
+  /// Draws a key skewed toward the most recently inserted (workload D's
+  /// read-latest distribution).
+  uint64_t NextLatestKey();
+
+  YcsbDatabase* db() { return db_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  YcsbDatabase* db_;
+  Rng rng_;
+  ZipfGenerator zipf_;   ///< Over [0, record_count); used when theta > 0.
+  ZipfGenerator latest_; ///< Small-skew generator for read-latest offsets.
+};
+
+/// Runs one YCSB transaction (ops_per_txn operations of workload `w`'s
+/// mix) on `session`. Returns false on abort (deadlock victim) — the
+/// driver counts it as work, not throughput. Workload-level RMW round
+/// trips are bumped into the session's live WorkerCounters
+/// (obs::Metric::kRmws).
+bool RunYcsbTxn(sm::Session* session, YcsbWorker* worker, YcsbWorkload w,
+                CommitMode mode = CommitMode::kSync);
+
+}  // namespace shoremt::workload
+
+#endif  // SHOREMT_WORKLOAD_YCSB_H_

@@ -174,6 +174,42 @@ TEST(ZipfTest, SkewFavorsSmallKeys) {
   EXPECT_GT(in_top_100, kSamples / 5);
 }
 
+TEST(ZipfTest, ThetaZeroApproximatesUniform) {
+  // Gray's construction degenerates to uniform at theta=0: each decile
+  // of the range must carry ~10% of the mass.
+  ZipfGenerator zipf(1000, 0.0, 9);
+  const int kSamples = 50000;
+  int deciles[10] = {};
+  for (int i = 0; i < kSamples; ++i) ++deciles[zipf.Next() / 100];
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_NEAR(deciles[d] / static_cast<double>(kSamples), 0.10, 0.02)
+        << "decile " << d;
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnHotPrefix) {
+  // At theta=0.99 the 10 hottest of 10k keys draw well over 15% of all
+  // requests (uniform would give them 0.1%).
+  ZipfGenerator zipf(10000, 0.99, 21);
+  const int kSamples = 20000;
+  int in_top_10 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 10) ++in_top_10;
+  }
+  EXPECT_GT(in_top_10 / static_cast<double>(kSamples), 0.15);
+}
+
+TEST(ZipfTest, DeterministicForSeed) {
+  ZipfGenerator a(5000, 0.9, 77), b(5000, 0.9, 77), c(5000, 0.9, 78);
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    diverged |= va != c.Next();
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(HistogramTest, BasicStats) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -218,6 +254,61 @@ TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Add(1000);
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, ValueAtQuantileAliasesPercentile) {
+  Histogram h;
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.Uniform(100000));
+  EXPECT_EQ(h.ValueAtQuantile(0.5), h.Percentile(0.5));
+  EXPECT_EQ(h.P50(), h.Percentile(0.5));
+  EXPECT_EQ(h.P99(), h.Percentile(0.99));
+  EXPECT_EQ(h.P999(), h.Percentile(0.999));
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
+TEST(HistogramTest, AddCountEquivalentToRepeatedAdd) {
+  Histogram bulk, repeated;
+  bulk.AddCount(500, 90);
+  bulk.AddCount(1'000'000, 10);
+  for (int i = 0; i < 90; ++i) repeated.Add(500);
+  for (int i = 0; i < 10; ++i) repeated.Add(1'000'000);
+  EXPECT_EQ(bulk.count(), repeated.count());
+  EXPECT_EQ(bulk.min(), repeated.min());
+  EXPECT_EQ(bulk.max(), repeated.max());
+  EXPECT_DOUBLE_EQ(bulk.Mean(), repeated.Mean());
+  EXPECT_EQ(bulk.P50(), repeated.P50());
+  EXPECT_EQ(bulk.P99(), repeated.P99());
+  bulk.AddCount(0, 0);  // Zero-count is a no-op.
+  EXPECT_EQ(bulk.count(), repeated.count());
+}
+
+TEST(HistogramTest, MergeThenQuantileMatchesCombined) {
+  // Per-worker histograms merged after the fact must report the same
+  // quantiles as one histogram that saw every sample — the property the
+  // cross-worker latency merge in the metrics registry relies on.
+  Histogram a, b, combined;
+  Rng rng(31);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t fast = 1000 + rng.Uniform(1000);
+    a.Add(fast);
+    combined.Add(fast);
+  }
+  for (int i = 0; i < 100; ++i) {
+    uint64_t slow = 1'000'000 + rng.Uniform(1'000'000);
+    b.Add(slow);
+    combined.Add(slow);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.P50(), combined.P50());
+  EXPECT_EQ(a.P99(), combined.P99());
+  EXPECT_EQ(a.P999(), combined.P999());
+  // The merged p99 lands in the slow band (100/4100 > 1%).
+  EXPECT_GT(a.P99(), 100'000u);
+  EXPECT_LT(a.P50(), 10'000u);
 }
 
 }  // namespace
