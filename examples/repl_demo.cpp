@@ -1,0 +1,190 @@
+/// Log-shipping replication demo: a primary process streams its
+/// write-ahead log to a forked replica, the replica serves consistent
+/// reads at its replayed-LSN horizon while the stream is live, and when
+/// the primary "crashes" (exits without shutdown, one transaction still
+/// in flight) the replica PROMOTES — recovery over the received log
+/// aborts the in-flight transaction, and the promoted engine serves the
+/// full committed prefix read-write as the new primary.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "io/volume.h"
+#include "log/log_storage.h"
+#include "repl/framing.h"
+#include "repl/replica.h"
+#include "repl/shipper.h"
+#include "sm/session.h"
+#include "sm/storage_manager.h"
+
+using namespace shoremt;
+
+namespace {
+
+constexpr uint64_t kCommittedRows = 500;
+
+sm::StorageOptions EngineOptions() {
+  sm::StorageOptions o = sm::StorageOptions::ForStage(sm::Stage::kFinal);
+  o.log.segment_bytes = 32 * 1024;
+  o.buffer.enable_cleaner = false;
+  o.checkpoint_daemon = false;
+  return o;
+}
+
+std::vector<uint8_t> Row(uint64_t key) {
+  std::vector<uint8_t> payload(48);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(key * 13 + i);
+  }
+  return payload;
+}
+
+/// The primary: commits kCommittedRows in batches, leaves one transaction
+/// hanging (durable but uncommitted), then exits abruptly — from the
+/// replica's side the stream just ends mid-conversation.
+int RunPrimary(int fd) {
+  io::MemVolume volume;
+  log::LogStorage wal(0, 32 * 1024);
+  auto opened = sm::StorageManager::Open(EngineOptions(), &volume, &wal);
+  if (!opened.ok()) return 1;
+  auto& db = *opened;
+
+  repl::SegmentShipper shipper(db->log(), fd);
+  shipper.Start();
+
+  auto session = db->OpenSession();
+  if (!session->Begin().ok() || !session->CreateTable("accounts").ok() ||
+      !session->Commit().ok()) {
+    return 1;
+  }
+  auto table = session->OpenTable("accounts");
+  if (!table.ok()) return 1;
+  for (uint64_t base = 0; base < kCommittedRows; base += 50) {
+    if (!session->Begin().ok()) return 1;
+    for (uint64_t k = base; k < base + 50; ++k) {
+      if (!session->Insert(*table, k, Row(k)).ok()) return 1;
+    }
+    if (!session->Commit().ok()) return 1;
+  }
+  std::printf("[primary] committed %llu rows\n",
+              (unsigned long long)kCommittedRows);
+
+  // One transaction the crash strands: durable in the log (flushed, so it
+  // ships) but never committed — promotion must roll it back.
+  if (!session->Begin().ok() ||
+      !session->Insert(*table, 777'777, Row(777'777)).ok() ||
+      !db->log()->FlushAll().ok()) {
+    return 1;
+  }
+  std::printf("[primary] in-flight insert of key 777777 is durable, "
+              "never committed\n");
+
+  // Let the shipper drain the tail, then die without a word.
+  uint64_t durable = wal.size();
+  while (shipper.shipped_offset() < durable) ::usleep(2000);
+  std::printf("[primary] shipped %llu/%llu bytes -- crashing now\n",
+              (unsigned long long)shipper.shipped_offset(),
+              (unsigned long long)durable);
+  std::fflush(stdout);
+  db->SimulateCrash();
+  shipper.Stop();
+  return 0;
+}
+
+/// The replica: serves horizon reads while streaming, then survives the
+/// primary by promoting.
+int RunReplica(int fd) {
+  io::MemVolume volume;
+  log::LogStorage wal(0, 32 * 1024);
+  repl::Replica::Options ro;
+  ro.storage = EngineOptions();
+  ro.replay_workers = 4;
+  repl::Replica replica(&volume, &wal, ro);
+  if (!replica.Start(fd).ok()) return 1;
+
+  // Live read at the horizon: wait until SOMETHING committed is visible,
+  // then read it through a perfectly ordinary session.
+  while (replica.replayed_lsn() < 1000 && !replica.stream_ended()) {
+    ::usleep(1000);
+  }
+  {
+    auto s = replica.sm()->OpenSession();
+    if (!s->Begin().ok()) return 1;
+    auto t = s->OpenTable("accounts");
+    if (t.ok() && s->Read(*t, 0).ok()) {
+      std::printf("[replica] live horizon read: key 0 visible at "
+                  "replayed_lsn=%llu\n",
+                  (unsigned long long)replica.replayed_lsn());
+    }
+    (void)s->Commit();
+  }
+
+  replica.WaitStreamEnd(30'000);
+  std::printf("[replica] stream ended (primary crashed) after %llu bytes; "
+              "promoting...\n",
+              (unsigned long long)replica.received_bytes());
+  Status st = replica.Promote();
+  if (!st.ok()) {
+    std::fprintf(stderr, "[replica] promote failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  // The promoted engine: full committed prefix present, the stranded
+  // transaction rolled back, and it takes writes — it IS the primary now.
+  auto s = replica.sm()->OpenSession();
+  if (!s->Begin().ok()) return 1;
+  auto t = s->OpenTable("accounts");
+  if (!t.ok()) return 1;
+  for (uint64_t k = 0; k < kCommittedRows; ++k) {
+    if (!s->Read(*t, k).ok()) {
+      std::fprintf(stderr, "[replica] committed key %llu missing!\n",
+                   (unsigned long long)k);
+      return 1;
+    }
+  }
+  bool stranded_gone = !s->Read(*t, 777'777).ok();
+  if (!s->Insert(*t, 1'000'000, Row(1'000'000)).ok()) return 1;
+  if (!s->Commit().ok()) return 1;
+  std::printf("[replica] promoted: %llu committed rows served, stranded "
+              "key 777777 %s, new write accepted\n",
+              (unsigned long long)kCommittedRows,
+              stranded_gone ? "rolled back" : "LEAKED");
+  return stranded_gone ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== replication demo: stream, crash, promote ===\n");
+  std::fflush(stdout);
+  int fds[2];
+  if (!repl::MakeSocketPair(fds).ok()) return 1;
+  pid_t pid = ::fork();
+  if (pid < 0) return 1;
+  if (pid == 0) {
+    ::close(fds[0]);
+    int rc = RunReplica(fds[1]);
+    ::close(fds[1]);
+    std::fflush(nullptr);  // _Exit skips stdio teardown
+    std::_Exit(rc);
+  }
+  ::close(fds[1]);
+  int rc = RunPrimary(fds[0]);
+  ::close(fds[0]);
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) return 1;
+  int child_rc =
+      WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 128 + WTERMSIG(wstatus);
+  if (rc == 0 && child_rc == 0) {
+    std::printf("takeaway: the committed prefix survived the primary; the "
+                "in-flight transaction did not.\nThat asymmetry -- exactly "
+                "what a failover must guarantee -- falls out of commit-"
+                "gated\nreplay plus ARIES recovery over the shipped log.\n");
+  }
+  return rc != 0 ? rc : child_rc;
+}

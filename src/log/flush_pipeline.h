@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "sync/bounded_executor.h"
 
 namespace shoremt::log {
 
@@ -37,9 +39,15 @@ class FlushPipeline {
  public:
   /// `idle_flush_interval_us` > 0 additionally wakes the daemon on that
   /// period to flush *everything* appended so far (the old flush_daemon
-  /// behavior); 0 means purely submission-driven.
+  /// behavior); 0 means purely submission-driven. Due OnDurable closures
+  /// are dispatched through a BoundedExecutor of `callback_threads`
+  /// workers with a `callback_queue`-deep queue, so a slow closure delays
+  /// other closures, never the flush daemon's next group-commit batch.
+  /// With the default single worker, closures keep firing in ascending-LSN
+  /// order; more workers trade that order away for callback parallelism.
   FlushPipeline(LogBuffer* buffer, LogStats* stats,
-                uint64_t idle_flush_interval_us);
+                uint64_t idle_flush_interval_us, size_t callback_threads = 1,
+                size_t callback_queue = 64);
   ~FlushPipeline();  ///< Final drain of submitted targets, then join.
 
   FlushPipeline(const FlushPipeline&) = delete;
@@ -106,15 +114,21 @@ class FlushPipeline {
   /// undurable targets to `fallback`.
   std::vector<std::pair<Callback, Status>> CollectDueCallbacksLocked(
       bool final_pass, const Status& fallback);
-  /// Collects due callbacks, drops the lock to invoke them, re-acquires.
-  /// The only dispatch entry point the daemon uses, so every path (batch,
-  /// error park, shutdown) shares one unlock discipline.
+  /// Collects due callbacks, drops the lock to hand the whole batch to the
+  /// callback executor as one task, re-acquires. The only dispatch entry
+  /// point the daemon uses, so every path (batch, error park, shutdown)
+  /// shares one unlock discipline. Submitting can block on executor
+  /// backpressure (queue full) but never on a callback body.
   void DispatchDue(std::unique_lock<std::mutex>& lk, bool final_pass,
                    const Status& fallback);
 
   LogBuffer* buffer_;
   LogStats* stats_;
   const uint64_t idle_flush_interval_us_;
+  /// Runs OnDurable closure batches off the daemon thread. Destroyed
+  /// (drained) in the destructor after the daemon joins, so the final-pass
+  /// batch still runs.
+  std::unique_ptr<sync::BoundedExecutor> callback_executor_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;     ///< Daemon sleeps here.

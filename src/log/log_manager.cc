@@ -12,6 +12,9 @@ LogManager::LogManager(LogStorage* storage, LogOptions options)
   if (options_.segment_bytes > 0) {
     storage_->set_segment_bytes(options_.segment_bytes);
   }
+  if (!options_.archive_dir.empty()) {
+    storage_->set_archive_dir(options_.archive_dir);
+  }
   // Assigned in the body so stats_ is fully constructed before the buffer
   // (which publishes consolidation counters into it) exists; same for the
   // storage's segment-counter mirror.
@@ -21,7 +24,8 @@ LogManager::LogManager(LogStorage* storage, LogOptions options)
                           options_.carray_force_consolidation);
   pipeline_ = std::make_unique<FlushPipeline>(
       buffer_.get(), &stats_,
-      options_.flush_daemon ? options_.flush_interval_us : 0);
+      options_.flush_daemon ? options_.flush_interval_us : 0,
+      options_.durable_callback_threads, options_.durable_callback_queue);
 }
 
 LogManager::~LogManager() {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -43,6 +44,19 @@ struct LogOptions {
   /// through the pressure hook (waking the page cleaner / checkpoint
   /// daemon so the low-water mark advances and segments can be freed).
   size_t recycle_pressure_segments = 8;
+  /// Non-empty: Recycle archives each sealed segment into this directory
+  /// (file + MANIFEST line) instead of freeing it outright — the archive
+  /// plus the live log stays a complete byte stream from LSN 1, enabling
+  /// point-in-time restore (repl::RestoreToLsn) and lets a log shipper
+  /// serve ranges the primary already recycled. Empty (default) = off.
+  std::string archive_dir;
+  /// Worker threads in the flush pipeline's OnDurable callback executor
+  /// (1 preserves ascending-LSN dispatch order; more trades order for
+  /// callback parallelism).
+  size_t durable_callback_threads = 1;
+  /// Bounded depth of that executor's queue (batches, not closures); a
+  /// backlog past this exerts backpressure on the flush daemon.
+  size_t durable_callback_queue = 64;
 };
 
 // LogStats lives in log/log_stats.h so the storage layer can mirror

@@ -30,6 +30,9 @@ struct LogStats {
   std::atomic<uint64_t> segments_allocated{0};
   /// Segments freed below the reclamation horizon since attach.
   std::atomic<uint64_t> segments_recycled{0};
+  /// Of those, segments written into the archive (PITR) before being
+  /// freed — equal to segments_recycled when an archive dir is set.
+  std::atomic<uint64_t> segments_archived{0};
   /// Dirty pages the background cleaner wrote back (mirrored from the
   /// buffer pool through the storage manager's writeback hook — the
   /// cleaner is what advances the redo low-water mark that lets Recycle

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -132,20 +133,101 @@ size_t LogStorage::Recycle(Lsn below) {
     horizon = horizon_offset_.load(std::memory_order_relaxed);
   }
   size_t freed = 0;
+  size_t archived = 0;
   while (!segments_.empty() &&
          segments_.front().base + segments_.front().bytes.size() <= horizon &&
          segments_.front().bytes.size() == segments_.front().capacity) {
+    if (!archive_dir_.empty()) {
+      // Archive BEFORE freeing: an archive write failure keeps the
+      // segment live (the log grows but no byte is ever dropped
+      // unarchived), so archive + live log always covers offset 0 on.
+      if (!ArchiveSegmentLocked(segments_.front())) break;
+      ++archived;
+    }
     segments_.pop_front();
     ++freed;
   }
   if (freed > 0) {
     segments_recycled_.fetch_add(freed, std::memory_order_relaxed);
+    segments_archived_.fetch_add(archived, std::memory_order_relaxed);
     if (attached_stats_ != nullptr) {
       attached_stats_->segments_recycled.fetch_add(freed,
+                                                   std::memory_order_relaxed);
+      attached_stats_->segments_archived.fetch_add(archived,
                                                    std::memory_order_relaxed);
     }
   }
   return freed;
+}
+
+bool LogStorage::ArchiveSegmentLocked(const Segment& seg) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "seg-%020llu.log",
+                static_cast<unsigned long long>(seg.base));
+  std::string path = archive_dir_ + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = seg.bytes.empty() ||
+            std::fwrite(seg.bytes.data(), 1, seg.bytes.size(), f) ==
+                seg.bytes.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return false;
+  std::string manifest = archive_dir_ + "/MANIFEST";
+  std::FILE* m = std::fopen(manifest.c_str(), "ab");
+  if (m == nullptr) return false;
+  ok = std::fprintf(m, "v1 %llu %llu %llu %s\n",
+                    static_cast<unsigned long long>(seg.base),
+                    static_cast<unsigned long long>(seg.bytes.size()),
+                    static_cast<unsigned long long>(seg.capacity),
+                    name) > 0;
+  ok = std::fclose(m) == 0 && ok;
+  return ok;
+}
+
+void LogStorage::set_archive_dir(std::string dir) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  archive_dir_ = std::move(dir);
+}
+
+std::string LogStorage::archive_dir() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return archive_dir_;
+}
+
+LogStorage::SegmentInfo LogStorage::SegmentInfoAt(uint64_t offset) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  SegmentInfo info;
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), offset,
+      [](uint64_t off, const Segment& s) { return off < s.base; });
+  if (it == segments_.begin()) return info;  // Recycled (or empty log).
+  --it;
+  if (offset >= it->base + it->bytes.size()) return info;  // Past the tail.
+  info.base = it->base;
+  info.capacity = it->capacity;
+  info.filled = it->bytes.size();
+  info.found = true;
+  return info;
+}
+
+Status LogStorage::TruncateTo(uint64_t offset) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = size_.load(std::memory_order_relaxed);
+  if (offset >= total) return Status::Ok();
+  uint64_t first_live =
+      segments_.empty() ? total : segments_.front().base;
+  if (offset < first_live) {
+    return Status::IOError("log truncate below recycled horizon");
+  }
+  while (!segments_.empty() && segments_.back().base >= offset) {
+    segments_.pop_back();
+  }
+  if (!segments_.empty()) {
+    Segment& tail = segments_.back();
+    tail.bytes.resize(static_cast<size_t>(offset - tail.base));
+  }
+  size_.store(offset, std::memory_order_release);
+  return Status::Ok();
 }
 
 void LogStorage::AttachStats(LogStats* stats) {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -93,6 +94,36 @@ class LogStorage {
     return Lsn{horizon_offset_.load(std::memory_order_acquire) + 1};
   }
 
+  /// While set, Recycle writes each sealed segment into `dir` as
+  /// `seg-<base>.log` and appends a line to `dir`/MANIFEST
+  /// (`v1 <base> <length> <capacity> <file>`, offsets in absolute log
+  /// bytes) BEFORE freeing it — the archive plus the live log is the
+  /// complete byte stream from offset 0, which is what point-in-time
+  /// restore replays. Empty (the default) keeps the PR 5 free-on-recycle
+  /// behavior. An archive write failure stops recycling at that segment
+  /// (bytes are never dropped unarchived).
+  void set_archive_dir(std::string dir);
+  std::string archive_dir() const;
+
+  /// Geometry of the live segment covering absolute byte `offset`:
+  /// shipping needs to know where the covering segment starts, how big it
+  /// is, and whether it is sealed (filled == capacity). `found` is false
+  /// when the offset is below the first live segment (recycled — serve
+  /// from the archive) or at/after the durable end.
+  struct SegmentInfo {
+    uint64_t base = 0;
+    size_t capacity = 0;
+    size_t filled = 0;
+    bool found = false;
+  };
+  SegmentInfo SegmentInfoAt(uint64_t offset) const;
+
+  /// Drops every durable byte at/above absolute offset `offset` (replica
+  /// promotion cuts the unparsed partial tail; restore cuts past-target
+  /// records). Truncating into recycled space is an IOError; offset at or
+  /// past the durable end is a no-op.
+  Status TruncateTo(uint64_t offset);
+
   size_t segment_bytes() const { return segment_bytes_; }
   /// Reconfigures the size used for segments allocated from now on
   /// (existing segments keep their geometry — segments are self-
@@ -112,6 +143,9 @@ class LogStorage {
   }
   uint64_t segments_recycled() const {
     return segments_recycled_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_archived() const {
+    return segments_archived_.load(std::memory_order_relaxed);
   }
 
   /// Attaches a LogStats block (the owning LogManager's): segment
@@ -140,6 +174,10 @@ class LogStorage {
     std::vector<uint8_t> bytes;
   };
 
+  /// Writes `seg` into the archive (file + manifest line). Caller holds
+  /// mutex_. Returns false on any I/O failure (caller must keep the
+  /// segment live).
+  bool ArchiveSegmentLocked(const Segment& seg);
   /// Copies [offset, offset+len) out of the segment chain. Caller holds
   /// mutex_ and has validated the range.
   void CopyOutLocked(uint64_t offset, size_t len, uint8_t* out) const;
@@ -152,12 +190,14 @@ class LogStorage {
   size_t segment_bytes_;
   std::deque<Segment> segments_;
   LogStats* attached_stats_ = nullptr;  ///< Guarded by mutex_.
+  std::string archive_dir_;             ///< Guarded by mutex_; "" = off.
   std::atomic<uint64_t> size_{0};
   /// Absolute offset below which bytes are reclaimable (recycled segments
   /// are gone; a straddling segment keeps its sub-horizon bytes readable).
   std::atomic<uint64_t> horizon_offset_{0};
   std::atomic<uint64_t> segments_allocated_{0};
   std::atomic<uint64_t> segments_recycled_{0};
+  std::atomic<uint64_t> segments_archived_{0};
   std::atomic<uint64_t> flush_calls_{0};
   std::atomic<bool> fail_appends_{false};
 };

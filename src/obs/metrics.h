@@ -38,9 +38,22 @@ enum class Metric : uint32_t {
   kCleanerWritebacks,
   kCheckpoints,
   kSegmentsRecycled,
+  // --- replication (src/repl) ---------------------------------------------
+  kReplSegmentsShipped,  ///< Sealed-segment chunks the shipper sent.
+  kReplSegmentsApplied,  ///< Segment/tail frames the replica accepted.
+  kReplBytesStreamed,    ///< Log bytes that crossed the wire.
+  kReplReplayBatches,    ///< Replay-worker dequeue batches.
+  kReplLagBytes,         ///< GAUGE: shipped-but-not-replayed log bytes.
 };
 
-inline constexpr size_t kMetricCount = 19;
+inline constexpr size_t kMetricCount = 24;
+
+/// Gauges report a level, not a monotone count: the profiling feed emits
+/// their raw value each tick instead of a delta, and keeps no high-water
+/// clamp (a lag that shrinks must be visible as shrinking).
+constexpr bool MetricIsGauge(Metric m) {
+  return m == Metric::kReplLagBytes;
+}
 
 constexpr std::string_view MetricName(Metric m) {
   switch (m) {
@@ -63,6 +76,11 @@ constexpr std::string_view MetricName(Metric m) {
     case Metric::kCleanerWritebacks: return "cleaner_writebacks";
     case Metric::kCheckpoints: return "checkpoints";
     case Metric::kSegmentsRecycled: return "segments_recycled";
+    case Metric::kReplSegmentsShipped: return "repl_segments_shipped";
+    case Metric::kReplSegmentsApplied: return "repl_segments_applied";
+    case Metric::kReplBytesStreamed: return "repl_bytes_streamed";
+    case Metric::kReplReplayBatches: return "repl_replay_batches";
+    case Metric::kReplLagBytes: return "repl_lag_bytes";
   }
   return "?";
 }

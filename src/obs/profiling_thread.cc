@@ -100,6 +100,14 @@ void ProfilingThread::Tick() {
   for (size_t i = 0; i < kMetricCount; ++i) {
     uint64_t c = cur.totals[i];
     uint64_t p = prev_.totals[i];
+    if (MetricIsGauge(static_cast<Metric>(i))) {
+      // Gauges (e.g. replication lag) are levels: emit the raw value and
+      // track it without the high-water clamp, so a shrinking lag shows
+      // up as shrinking instead of as a string of zeros.
+      delta[i] = c;
+      prev_.totals[i] = c;
+      continue;
+    }
     // Clamp: a transient churn dip must not underflow; the high-water
     // prev_ keeps the cumulative account exact once the dip resolves.
     delta[i] = c > p ? c - p : 0;

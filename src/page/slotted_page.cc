@@ -77,19 +77,29 @@ Result<uint16_t> SlottedPage::Insert(std::span<const uint8_t> payload) {
 Status SlottedPage::InsertAt(uint16_t slot, std::span<const uint8_t> payload) {
   PageHeader* h = header();
   bool new_slot = slot >= h->slot_count;
-  if (new_slot && slot != h->slot_count) {
-    return Status::InvalidArgument("non-contiguous slot insert");
-  }
   if (!new_slot && SlotAt(slot)->offset != 0) {
     return Status::AlreadyExists("slot is live");
   }
-  size_t need = payload.size() + (new_slot ? sizeof(Slot) : 0);
+  // Slots past slot_count materialize the gap as tombstones: replicated
+  // replay applies page inserts in commit order, which can create slot
+  // k+1 before slot k (the earlier-slot insert's transaction committed
+  // later). Normal redo/undo stays contiguous and never takes the gap
+  // path.
+  size_t gap_slots = new_slot ? slot + 1 - h->slot_count : 0;
+  size_t need = payload.size() + gap_slots * sizeof(Slot);
   if (ContiguousFree() < need) {
     if (FreeSpace() < need) return Status::OutOfSpace("page full");
     Compact();
     if (ContiguousFree() < need) return Status::OutOfSpace("page full");
   }
-  if (new_slot) h->slot_count = slot + 1;
+  if (new_slot) {
+    for (uint16_t i = h->slot_count; i < slot; ++i) {
+      Slot* gap = SlotAt(i);
+      gap->offset = 0;
+      gap->length = 0;
+    }
+    h->slot_count = slot + 1;
+  }
   Slot* s = SlotAt(slot);
   s->offset = static_cast<uint16_t>(h->free_begin);
   s->length = static_cast<uint16_t>(payload.size());

@@ -40,8 +40,10 @@ class SlottedPage {
 
   /// Inserts a record, returning its slot. Reuses tombstoned slots.
   Result<uint16_t> Insert(std::span<const uint8_t> payload);
-  /// Inserts into a specific slot (used by recovery redo). The slot must
-  /// be free (beyond slot_count or tombstoned).
+  /// Inserts into a specific slot (used by recovery redo and replicated
+  /// replay). The slot must be free (beyond slot_count or tombstoned); a
+  /// gap up to `slot` is materialized as tombstones (commit-order replay
+  /// can create slot k+1 before slot k).
   Status InsertAt(uint16_t slot, std::span<const uint8_t> payload);
   /// Reads the record in `slot`.
   Result<std::span<const uint8_t>> Read(uint16_t slot) const;

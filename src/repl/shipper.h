@@ -1,0 +1,111 @@
+#ifndef SHOREMT_REPL_SHIPPER_H_
+#define SHOREMT_REPL_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/log_manager.h"
+#include "obs/metrics_registry.h"
+
+namespace shoremt::repl {
+
+/// Primary-side log shipper: streams the durable log to one replica over
+/// a connected stream socket. Sealed segments go out as kSegment frames
+/// (self-describing geometry the replica validates); the open tail is
+/// trickled as kTailDelta frames, so replica lag is bounded by the flush
+/// cadence, not the segment size. Control frames flow back on the same
+/// socket: kAck advances the lag estimate, kResend rewinds the cursor
+/// (the replica detected a torn or misordered shipment).
+///
+/// When the cursor falls below the storage's first live segment (the
+/// primary recycled it), the shipper falls back to the segment archive
+/// (LogOptions::archive_dir) — without an archive that range is gone and
+/// Serve fails.
+///
+/// Everything in LogStorage is durable by construction, so the shipper
+/// never ships bytes a crash could retract.
+class SegmentShipper {
+ public:
+  struct Options {
+    /// Idle poll interval while waiting for new durable bytes or acks.
+    int poll_interval_ms = 2;
+  };
+
+  /// `log` must outlive the shipper. `fd` is owned by the caller.
+  SegmentShipper(log::LogManager* log, int fd, Options opts);
+  SegmentShipper(log::LogManager* log, int fd)
+      : SegmentShipper(log, fd, Options()) {}
+  ~SegmentShipper();
+
+  SegmentShipper(const SegmentShipper&) = delete;
+  SegmentShipper& operator=(const SegmentShipper&) = delete;
+
+  /// Spawns a thread running Serve().
+  void Start();
+  /// Stops the serve loop (idempotent) and joins the thread if Start()ed.
+  /// Shuts the socket down for writing so the replica sees EOF.
+  void Stop();
+  /// The serve loop: blocks on the replica's kHello, then ships until the
+  /// peer disconnects or Stop(). Also callable directly (no Start) for
+  /// single-threaded tests. A peer disconnect is a clean Ok return.
+  Status Serve();
+  /// Serve()'s result once it has exited (Ok while running).
+  Status status() const;
+
+  // --- observability --------------------------------------------------------
+
+  uint64_t shipped_offset() const {
+    return shipped_offset_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_shipped() const {
+    return segments_shipped_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_streamed() const {
+    return bytes_streamed_.load(std::memory_order_relaxed);
+  }
+  /// Replica's last acked replayed LSN (0 before the first ack).
+  uint64_t acked_replayed_lsn() const {
+    return acked_replayed_.load(std::memory_order_relaxed);
+  }
+  /// Durable bytes the replica has not yet REPLAYED (the primary-side
+  /// replication lag: ships + applies still in flight).
+  uint64_t lag_bytes() const;
+
+  /// Registers the shipper's counters as a source on `reg` (typically the
+  /// primary StorageManager's registry): segments shipped, bytes
+  /// streamed, and the replayed-LSN lag gauge. The shipper must outlive
+  /// the registry's last Snapshot.
+  void RegisterMetrics(obs::MetricsRegistry* reg);
+
+ private:
+  /// Drains pending control frames; blocks up to `timeout_ms` for the
+  /// first one. False when the peer disconnected.
+  bool DrainControl(int timeout_ms, bool* rewound);
+  /// Ships the next chunk at cursor_; false with st unset when there is
+  /// nothing new to ship.
+  Status ShipNext(bool* progressed);
+
+  log::LogManager* log_;
+  int fd_;
+  Options opts_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  uint64_t cursor_ = 0;  ///< Serve-thread only: next offset to ship.
+
+  std::atomic<uint64_t> shipped_offset_{0};
+  std::atomic<uint64_t> segments_shipped_{0};
+  std::atomic<uint64_t> bytes_streamed_{0};
+  std::atomic<uint64_t> acked_replayed_{0};
+
+  mutable std::mutex status_mutex_;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace shoremt::repl
+
+#endif  // SHOREMT_REPL_SHIPPER_H_

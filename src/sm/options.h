@@ -45,6 +45,26 @@ inline constexpr Stage kAllStages[] = {
     Stage::kFinal,
 };
 
+/// How StorageManager::Open treats the durable state it is handed.
+enum class OpenMode {
+  /// Normal: full ARIES restart (analysis/redo/undo) when the log is
+  /// non-empty.
+  kRecover,
+  /// Replication replica: no recovery and no checkpoint daemon — the
+  /// repl::Replica's replay pool applies the shipped log itself and owns
+  /// the visibility horizon; the manager only provides the read path.
+  kReplicaAttach,
+  /// Replica promotion: the replay pool already applied every committed
+  /// record, so redo is skipped; analysis still runs to find in-flight
+  /// (loser) transactions, which are rolled back structure-only (their
+  /// deferred heap records were never applied) and formally aborted.
+  kPromote,
+  /// Point-in-time restore: full restart over a reconstructed log and an
+  /// EMPTY volume — redo starts at LSN 1 and ignores checkpoint redo
+  /// low-water marks (they describe a volume state the fresh one lacks).
+  kRestore,
+};
+
 /// Aggregated configuration of the whole storage manager.
 struct StorageOptions {
   buffer::BufferPoolOptions buffer;
@@ -73,6 +93,8 @@ struct StorageOptions {
   /// newest snapshot-carrying checkpoint record so recovery's analysis
   /// can always bootstrap the metadata maps.
   size_t checkpoint_snapshot_every = 4;
+  /// See OpenMode; replication paths (src/repl) set the non-default modes.
+  OpenMode open_mode = OpenMode::kRecover;
 
   /// Configuration corresponding to a §7 development stage. Later stages
   /// include all earlier optimizations (the paper's process was strictly

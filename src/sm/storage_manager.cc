@@ -138,12 +138,28 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   }
   auto sm = std::unique_ptr<StorageManager>(
       new StorageManager(options, volume, log_storage));
-  if (log_storage->size() > 0) {
-    SHOREMT_RETURN_NOT_OK(sm->Recover());
+  switch (options.open_mode) {
+    case OpenMode::kRecover:
+    case OpenMode::kRestore:
+      if (log_storage->size() > 0) {
+        SHOREMT_RETURN_NOT_OK(sm->Recover());
+      }
+      break;
+    case OpenMode::kPromote:
+      SHOREMT_RETURN_NOT_OK(sm->PromoteRecover());
+      break;
+    case OpenMode::kReplicaAttach:
+      // No recovery: the repl::Replica's replay pool applies the shipped
+      // log itself, continuously.
+      break;
   }
   // Background checkpoints only start once recovery is done: a fuzzy
-  // checkpoint mid-redo would snapshot half-replayed state.
-  sm->StartCheckpointDaemon();
+  // checkpoint mid-redo would snapshot half-replayed state. A replica
+  // attach never starts one — a checkpoint would log records into a log
+  // the primary owns.
+  if (options.open_mode != OpenMode::kReplicaAttach) {
+    sm->StartCheckpointDaemon();
+  }
   return sm;
 }
 
@@ -504,7 +520,7 @@ Status StorageManager::Shutdown() {
 // ----------------------------------------------------------------- undo ----
 
 Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
-                                  const log::LogRecord& rec) {
+                                  const log::LogRecord& rec, bool log_only) {
   using log::LogRecordType;
   log::LogRecord clr;
   clr.type = LogRecordType::kClr;
@@ -516,20 +532,24 @@ Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
   PageHandle handle;
   switch (rec.type) {
     case LogRecordType::kPageInsert: {
-      SHOREMT_ASSIGN_OR_RETURN(
-          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
-      page::SlottedPage sp(handle.data());
-      SHOREMT_RETURN_NOT_OK(sp.Delete(rec.slot));
+      if (!log_only) {
+        SHOREMT_ASSIGN_OR_RETURN(
+            handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+        page::SlottedPage sp(handle.data());
+        SHOREMT_RETURN_NOT_OK(sp.Delete(rec.slot));
+      }
       clr.page = rec.page;
       clr.slot = rec.slot;
       clr.page_type = static_cast<uint8_t>(LogRecordType::kPageDelete);
       break;
     }
     case LogRecordType::kPageUpdate: {
-      SHOREMT_ASSIGN_OR_RETURN(
-          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
-      page::SlottedPage sp(handle.data());
-      SHOREMT_RETURN_NOT_OK(sp.Update(rec.slot, rec.before));
+      if (!log_only) {
+        SHOREMT_ASSIGN_OR_RETURN(
+            handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+        page::SlottedPage sp(handle.data());
+        SHOREMT_RETURN_NOT_OK(sp.Update(rec.slot, rec.before));
+      }
       clr.page = rec.page;
       clr.slot = rec.slot;
       clr.page_type = static_cast<uint8_t>(LogRecordType::kPageUpdate);
@@ -537,10 +557,12 @@ Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
       break;
     }
     case LogRecordType::kPageDelete: {
-      SHOREMT_ASSIGN_OR_RETURN(
-          handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
-      page::SlottedPage sp(handle.data());
-      SHOREMT_RETURN_NOT_OK(sp.InsertAt(rec.slot, rec.before));
+      if (!log_only) {
+        SHOREMT_ASSIGN_OR_RETURN(
+            handle, pool_->FixPage(rec.page, LatchMode::kExclusive));
+        page::SlottedPage sp(handle.data());
+        SHOREMT_RETURN_NOT_OK(sp.InsertAt(rec.slot, rec.before));
+      }
       clr.page = rec.page;
       clr.slot = rec.slot;
       clr.page_type = static_cast<uint8_t>(LogRecordType::kPageInsert);
@@ -592,13 +614,18 @@ Status StorageManager::UndoRecord(txn::Transaction* txn, TxnId txn_id,
 
   SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->AppendClr(clr));
   if (txn != nullptr) txns_->NoteLogged(txn, a.lsn, a.end);
-  handle.MarkDirty(a.end, a.lsn);
+  if (handle.valid()) handle.MarkDirty(a.end, a.lsn);
   return Status::Ok();
 }
 
 // ------------------------------------------------------------- recovery ----
 
 Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
+  return ApplyRedo(rec, end, /*force=*/false);
+}
+
+Status StorageManager::ApplyRedo(const log::LogRecord& rec, Lsn end,
+                                 bool force) {
   using log::LogRecordType;
   switch (rec.type) {
     case LogRecordType::kClr: {
@@ -610,10 +637,13 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
       action.store = rec.store;
       action.before = rec.before;
       action.after = rec.after;
-      return RedoRecord(action, end);
+      return ApplyRedo(action, end, force);
     }
     case LogRecordType::kPageFormat: {
       SHOREMT_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(rec.page));
+      // A format is the page's birth: a valid image whose LSN covers this
+      // record is already past it, force mode or not (re-Init would wipe
+      // later applies).
       if (page::HeaderOf(h.data())->page_lsn >= end.value &&
           page::PageLooksValid(h.data(), rec.page)) {
         return Status::Ok();
@@ -638,7 +668,14 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
     case LogRecordType::kBtreeSetContent: {
       SHOREMT_ASSIGN_OR_RETURN(
           PageHandle h, pool_->FixPage(rec.page, LatchMode::kExclusive));
-      if (page::HeaderOf(h.data())->page_lsn >= end.value) {
+      uint64_t cur_lsn = page::HeaderOf(h.data())->page_lsn;
+      // Recovery replays in LSN order, so "page LSN covers end" means
+      // "already applied" — skip. Commit-gated replica replay applies in
+      // COMMIT order: a page's LSN can already be above an unapplied
+      // record's end, so force mode applies unconditionally (the
+      // dispatcher guarantees exactly-once per record) and the page LSN
+      // only ratchets upward.
+      if (!force && cur_lsn >= end.value) {
         return Status::Ok();  // Change already on the page image.
       }
       // An unformatted or misdirected image here means the WAL invariants
@@ -687,7 +724,7 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
         default:
           break;
       }
-      h.MarkDirty(end, rec.lsn);
+      h.MarkDirty(force ? Lsn{std::max(cur_lsn, end.value)} : end, rec.lsn);
       return Status::Ok();
     }
     default:
@@ -695,8 +732,60 @@ Status StorageManager::RedoRecord(const log::LogRecord& rec, Lsn end) {
   }
 }
 
-Status StorageManager::Recover() {
-  // --- Analysis: scan the LIVE log (from the reclamation horizon — with
+void StorageManager::RaiseNextStore(StoreId store) {
+  StoreId want = store + 1;
+  StoreId cur = next_store_.load(std::memory_order_relaxed);
+  while (cur < want &&
+         !next_store_.compare_exchange_weak(cur, want,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+Status StorageManager::ApplyMetadata(const log::LogRecord& rec,
+                                     log::CheckpointBody* ckpt_out) {
+  using log::LogRecordType;
+  switch (rec.type) {
+    case LogRecordType::kCheckpoint: {
+      log::CheckpointBody local;
+      log::CheckpointBody* body = ckpt_out != nullptr ? ckpt_out : &local;
+      SHOREMT_RETURN_NOT_OK(DeserializeCheckpoint(rec.after, body));
+      // Bootstrap metadata from the snapshots (idempotent against the
+      // records already applied and those still ahead).
+      for (const auto& t : body->tables) {
+        TableInfo info;
+        SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(t, &info));
+        RaiseNextStore(std::max(info.heap_store, info.index_store));
+        RegisterTable(info);
+      }
+      for (const auto& [store, pages] : body->stores) {
+        RaiseNextStore(store);
+        SHOREMT_RETURN_NOT_OK(space_->ApplyCreateStore(store));
+        for (PageNum page : pages) {
+          SHOREMT_RETURN_NOT_OK(space_->ApplyAllocPage(store, page));
+        }
+      }
+      return Status::Ok();
+    }
+    case LogRecordType::kCreateStore:
+      RaiseNextStore(rec.store);
+      return space_->ApplyCreateStore(rec.store);
+    case LogRecordType::kAllocPage:
+      return space_->ApplyAllocPage(rec.store, rec.page);
+    case LogRecordType::kCatalog: {
+      TableInfo info;
+      SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(rec.after, &info));
+      RaiseNextStore(std::max(info.heap_store, info.index_store));
+      RegisterTable(info);
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();
+  }
+}
+
+Status StorageManager::AnalyzeLog(AnalysisState* out,
+                                  bool honor_checkpoint_redo) {
+  // Analysis: scan the LIVE log (from the reclamation horizon — with
   // recycling, earlier segments are gone), find the last checkpoint, and
   // rebuild the space map + catalog + active transaction table. Metadata
   // below the horizon comes from the checkpoint body's snapshots; records
@@ -719,51 +808,27 @@ Status StorageManager::Recover() {
   // be resurrected as losers.
   std::set<TxnId> ended;
   std::vector<log::CheckpointTxn> last_checkpoint_active;
-  StoreId max_store = 0;
 
   SHOREMT_RETURN_NOT_OK(log_->Scan([&](const log::LogRecord& rec, Lsn end) {
+    (void)end;
     using log::LogRecordType;
     switch (rec.type) {
       case LogRecordType::kCheckpoint: {
         log::CheckpointBody body;
-        SHOREMT_RETURN_NOT_OK(DeserializeCheckpoint(rec.after, &body));
-        // Bootstrap metadata from the snapshots (idempotent against the
-        // records already scanned and those still ahead).
-        for (const auto& t : body.tables) {
-          TableInfo info;
-          SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(t, &info));
-          max_store = std::max(max_store, std::max(info.heap_store,
-                                                   info.index_store));
-          RegisterTable(info);
-        }
-        for (const auto& [store, pages] : body.stores) {
-          max_store = std::max(max_store, store);
-          SHOREMT_RETURN_NOT_OK(space_->ApplyCreateStore(store));
-          for (PageNum page : pages) {
-            SHOREMT_RETURN_NOT_OK(space_->ApplyAllocPage(store, page));
-          }
-        }
+        SHOREMT_RETURN_NOT_OK(ApplyMetadata(rec, &body));
         // Remember only the LATEST checkpoint's active table (see the
         // scanned_losers comment above); it is merged after the scan.
         last_checkpoint_active = std::move(body.active_txns);
-        if (!body.redo_lsn.IsNull()) redo_start = body.redo_lsn;
+        if (honor_checkpoint_redo && !body.redo_lsn.IsNull()) {
+          redo_start = body.redo_lsn;
+        }
         break;
       }
       case LogRecordType::kCreateStore:
-        max_store = std::max(max_store, rec.store);
-        SHOREMT_RETURN_NOT_OK(space_->ApplyCreateStore(rec.store));
-        break;
       case LogRecordType::kAllocPage:
-        SHOREMT_RETURN_NOT_OK(space_->ApplyAllocPage(rec.store, rec.page));
+      case LogRecordType::kCatalog:
+        SHOREMT_RETURN_NOT_OK(ApplyMetadata(rec));
         break;
-      case LogRecordType::kCatalog: {
-        TableInfo info;
-        SHOREMT_RETURN_NOT_OK(DeserializeTableInfo(rec.after, &info));
-        max_store = std::max(max_store, std::max(info.heap_store,
-                                                 info.index_store));
-        RegisterTable(info);
-        break;
-      }
       case LogRecordType::kCommit:
       case LogRecordType::kAbort:
         scanned_losers.erase(rec.txn);
@@ -779,18 +844,63 @@ Status StorageManager::Recover() {
     }
     return Status::Ok();
   }));
-  next_store_.store(max_store + 1, std::memory_order_relaxed);
 
   // Final loser table: record-evidenced losers, plus the last checkpoint's
   // active transactions that never ended in the scanned region. Take the
   // max last_lsn per transaction — records scanned after the (fuzzy)
   // snapshot carry newer undo-chain tails than the body.
-  std::map<TxnId, Lsn> losers = std::move(scanned_losers);
+  out->losers = std::move(scanned_losers);
   for (const log::CheckpointTxn& t : last_checkpoint_active) {
     if (ended.contains(t.id)) continue;
-    Lsn& slot = losers[t.id];
+    Lsn& slot = out->losers[t.id];
     if (t.last_lsn > slot) slot = t.last_lsn;
   }
+  out->redo_start = redo_start;
+  return Status::Ok();
+}
+
+Status StorageManager::UndoLosers(const std::map<TxnId, Lsn>& losers,
+                                  bool structure_only) {
+  // Roll back losers (newest first), logging CLRs so a crash during
+  // recovery is itself recoverable. Promotion undoes structure-only: a
+  // replica's commit-gated replay never applied a loser's heap records,
+  // so only its immediately-applied B-tree records touch pages here —
+  // but heap CLRs are still LOGGED (log_only) so a later restart of the
+  // promoted log, which redoes the loser's heap records, compensates
+  // them instead of colliding with post-promotion slot reuse.
+  for (auto it = losers.rbegin(); it != losers.rend(); ++it) {
+    TxnId txn_id = it->first;
+    Lsn cursor = it->second;
+    while (!cursor.IsNull()) {
+      SHOREMT_ASSIGN_OR_RETURN(log::LogRecord rec, log_->ReadRecord(cursor));
+      if (rec.type == log::LogRecordType::kClr) {
+        cursor = rec.undo_next;
+        continue;
+      }
+      bool is_btree = rec.type == log::LogRecordType::kBtreeInsert ||
+                      rec.type == log::LogRecordType::kBtreeDelete;
+      SHOREMT_RETURN_NOT_OK(UndoRecord(
+          nullptr, txn_id, rec, /*log_only=*/structure_only && !is_btree));
+      cursor = rec.prev_lsn;
+    }
+    log::LogRecord done;
+    done.type = log::LogRecordType::kAbort;
+    done.txn = txn_id;
+    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(done));
+    SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
+  }
+  return Status::Ok();
+}
+
+Status StorageManager::Recover() {
+  AnalysisState analysis;
+  SHOREMT_RETURN_NOT_OK(AnalyzeLog(
+      &analysis,
+      // A restore rebuilds an EMPTY volume: checkpoint redo low-water
+      // marks describe page state the fresh volume does not have, so redo
+      // must replay from the very beginning of the (reconstructed) log.
+      /*honor_checkpoint_redo=*/options_.open_mode != OpenMode::kRestore));
+  Lsn redo_start = analysis.redo_start;
 
   // --- Redo: replay history from the checkpoint's low-water mark only —
   // the whole point of the cleaner/checkpoint loop. redo_scan_bytes is
@@ -805,26 +915,26 @@ Status StorageManager::Recover() {
       },
       redo_start));
 
-  // --- Undo: roll back losers (newest first), logging CLRs so a crash
-  // during recovery is itself recoverable.
-  for (auto it = losers.rbegin(); it != losers.rend(); ++it) {
-    TxnId txn_id = it->first;
-    Lsn cursor = it->second;
-    while (!cursor.IsNull()) {
-      SHOREMT_ASSIGN_OR_RETURN(log::LogRecord rec, log_->ReadRecord(cursor));
-      if (rec.type == log::LogRecordType::kClr) {
-        cursor = rec.undo_next;
-        continue;
-      }
-      SHOREMT_RETURN_NOT_OK(UndoRecord(nullptr, txn_id, rec));
-      cursor = rec.prev_lsn;
-    }
-    log::LogRecord done;
-    done.type = log::LogRecordType::kAbort;
-    done.txn = txn_id;
-    SHOREMT_ASSIGN_OR_RETURN(log::Appended a, log_->Append(done));
-    SHOREMT_RETURN_NOT_OK(log_->FlushTo(a.end));
-  }
+  SHOREMT_RETURN_NOT_OK(UndoLosers(analysis.losers,
+                                   /*structure_only=*/false));
+  SHOREMT_RETURN_NOT_OK(log_->FlushAll());
+  return Status::Ok();
+}
+
+Status StorageManager::PromoteRecover() {
+  // Promotion runs over a drained replica: every committed record the
+  // primary shipped is already applied (page state), and the receive log
+  // has been truncated to a record boundary. The normal recovery tail
+  // minus redo: analysis finds the in-flight transactions, whose
+  // commit-gated heap records were never applied — undo their B-tree
+  // records (applied immediately during streaming) and formally abort
+  // them, so a later NORMAL restart over this log sees them ended and the
+  // asymmetry (skipped heap redo vs no heap undo) can never bite.
+  AnalysisState analysis;
+  SHOREMT_RETURN_NOT_OK(AnalyzeLog(&analysis,
+                                   /*honor_checkpoint_redo=*/true));
+  SHOREMT_RETURN_NOT_OK(UndoLosers(analysis.losers,
+                                   /*structure_only=*/true));
   SHOREMT_RETURN_NOT_OK(log_->FlushAll());
   return Status::Ok();
 }

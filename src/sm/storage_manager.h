@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -172,6 +173,24 @@ class StorageManager {
     log_->Abandon();
   }
 
+  // --- replicated replay (src/repl) ----------------------------------------
+
+  /// Applies one redo-able record to the local page state. `force` = false
+  /// is recovery semantics (skip when the page LSN already covers `end`);
+  /// `force` = true is the replica's commit-gated deferred replay, which
+  /// applies records out of per-page LSN order (commit order), so the
+  /// idempotence guard is skipped and the page LSN only ever ratchets up
+  /// to max(current, end). Metadata records are no-ops here — feed them to
+  /// ApplyMetadata.
+  Status ApplyRedo(const log::LogRecord& rec, Lsn end, bool force);
+  /// Applies a metadata record (kCheckpoint body snapshots, kCreateStore,
+  /// kAllocPage, kCatalog) to the catalog/space maps; idempotent. Other
+  /// record types are no-ops. `ckpt_out`, when non-null, receives the
+  /// deserialized checkpoint body (analysis wants its active-transaction
+  /// table and redo LSN; the replica does not).
+  Status ApplyMetadata(const log::LogRecord& rec,
+                       log::CheckpointBody* ckpt_out = nullptr);
+
   // --- component access (benches, tests, calibration) ----------------------
 
   buffer::BufferPool* pool() { return pool_.get(); }
@@ -202,14 +221,46 @@ class StorageManager {
   Result<TableInfo> CreateTableReserved(txn::Transaction* txn,
                                         const std::string& name);
 
-  /// ARIES-style restart: analysis, redo, undo.
+  /// Analysis output: loser transactions (id → newest logged LSN) and the
+  /// redo start point.
+  struct AnalysisState {
+    std::map<TxnId, Lsn> losers;
+    Lsn redo_start;
+  };
+
+  /// ARIES-style restart: analysis, redo, undo. In OpenMode::kRestore the
+  /// redo pass starts at LSN 1 regardless of checkpoint low-water marks
+  /// (the restored volume is empty — no pre-checkpoint page state exists).
   Status Recover();
+  /// Replica promotion: analysis only (the replay pool already applied
+  /// every committed record), then structure-only undo of losers — their
+  /// commit-gated heap records were never applied, so only their
+  /// immediately-applied B-tree records need compensation — and a formal
+  /// kAbort per loser, making the promoted log recoverable by a normal
+  /// restart.
+  Status PromoteRecover();
+  /// Analysis scan: rebuilds catalog/space/active-transaction state from
+  /// the live log (checkpoint bodies bootstrap what recycling removed).
+  /// `honor_checkpoint_redo` = false keeps redo_start at the scan start
+  /// instead of adopting checkpoint redo LSNs (restore over a fresh
+  /// volume).
+  Status AnalyzeLog(AnalysisState* out, bool honor_checkpoint_redo);
   /// Applies one record during redo (idempotent via page LSN).
   Status RedoRecord(const log::LogRecord& rec, Lsn end);
+  /// Rolls back every loser (newest first), appending a durable kAbort
+  /// per transaction. `structure_only` applies only B-tree undo to pages
+  /// (promotion; heap records were never applied on a replica) but still
+  /// LOGS heap CLRs so a later restart of the promoted log compensates
+  /// the loser's heap records it will redo.
+  Status UndoLosers(const std::map<TxnId, Lsn>& losers, bool structure_only);
   /// Undoes one record on behalf of `txn_id`, logging a CLR. `txn` may be
-  /// null during restart undo.
+  /// null during restart undo. With `log_only` the CLR is logged but the
+  /// inverse page change is not applied (the record was never applied
+  /// here — commit-gated replica replay).
   Status UndoRecord(txn::Transaction* txn, TxnId txn_id,
-                    const log::LogRecord& rec);
+                    const log::LogRecord& rec, bool log_only = false);
+  /// Ratchets next_store_ above `store` (metadata replay).
+  void RaiseNextStore(StoreId store);
 
   /// Registers a table in the in-memory catalog (create or recovery).
   void RegisterTable(const TableInfo& info);
