@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "buffer/buffer_pool.h"
+#include "io/volume.h"
 #include "log/log_manager.h"
 #include "simcore/simulation.h"
 #include "workload/engine_profiles.h"
@@ -50,6 +52,29 @@ inline void PrintLogLifecycleStats(log::LogManager* mgr, const char* indent) {
               (unsigned long long)s.checkpoint_count.load(),
               (unsigned long long)s.cleaner_writebacks.load(),
               (unsigned long long)s.redo_scan_bytes.load());
+}
+
+/// One-line dump of the async-I/O-spine counters: device calls vs pages
+/// moved (the gap is what coalescing saved), vectored-call share, and the
+/// prefetch + batched-cleaner activity behind them. Shared by the fig5
+/// async panel and the YCSB sweep so the format cannot drift.
+inline void PrintIoSpineStats(const io::IoStats& v,
+                              const buffer::BufferPoolStats& b,
+                              const char* indent) {
+  uint64_t calls = v.reads.load() + v.writes.load();
+  uint64_t pages = v.pages_read.load() + v.pages_written.load();
+  std::printf("%sio: device-calls=%llu pages=%llu (%.2f pages/call) "
+              "vectored=%llu prefetch[issued=%llu installed=%llu "
+              "dropped=%llu] cleaner-batches=%llu\n",
+              indent, (unsigned long long)calls, (unsigned long long)pages,
+              calls ? static_cast<double>(pages) / static_cast<double>(calls)
+                    : 0.0,
+              (unsigned long long)(v.batched_reads.load() +
+                                   v.batched_writes.load()),
+              (unsigned long long)b.prefetch_issued.load(),
+              (unsigned long long)b.prefetch_installed.load(),
+              (unsigned long long)b.prefetch_dropped.load(),
+              (unsigned long long)b.cleaner_batches.load());
 }
 
 /// SHOREMT_FULL=1 switches to full-resolution sweeps / longer windows.

@@ -129,6 +129,8 @@ void RunRealEnginePanel() {
           (unsigned long long)(stats.lock_waits - base.lock_waits),
           (unsigned long long)(stats.lock_cache_hits - base.lock_cache_hits),
           flushes_per_txn, txns_per_batch);
+      bench::PrintIoSpineStats(volume.stats(), db->pool()->stats(),
+                               "       ");
     }
   }
   std::printf("expected: async commit amortizes device flushes across the "

@@ -112,6 +112,7 @@ bool RunCell(YcsbWorkload w, double theta, int threads, uint64_t window_ms,
       (unsigned long long)res.aborts,
       (unsigned long long)(stats.lock_waits - base.lock_waits),
       (unsigned long long)(stats.ops() - base.ops()));
+  bench::PrintIoSpineStats(volume.stats(), db->pool()->stats(), "  ");
   std::fflush(stdout);
   return true;
 }

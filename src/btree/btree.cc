@@ -353,6 +353,7 @@ Status BTree::Iterator::Seek(uint64_t key) {
     buf_.push_back(leaf.entry(i));
   }
   next_leaf_ = page::HeaderOf(h.data())->next_page;
+  ++refills_;  // New snapshot generation (readahead triggers off this).
   h.Unfix();  // Release the latch before the chain walk below.
   if (!buf_.empty()) {
     valid_ = true;
@@ -378,6 +379,7 @@ Status BTree::Iterator::Refill(uint64_t min_key, bool exclusive) {
       }
     }
     next_leaf_ = page::HeaderOf(h.data())->next_page;
+    ++refills_;  // New snapshot generation (readahead triggers off this).
     if (!buf_.empty()) {
       valid_ = true;
       return Status::Ok();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "btree/btree_node.h"
@@ -89,6 +90,18 @@ class BTree {
     uint64_t value() const { return buf_[pos_].value; }
     RecordId record() const { return UnpackRecordId(buf_[pos_].value); }
 
+    /// Readahead hooks. `refills()` is a generation counter bumped every
+    /// time the buffered leaf snapshot is replaced (Seek and each Refill):
+    /// a cursor prefetches once per generation instead of once per row.
+    /// `remaining()` is the not-yet-consumed tail of the snapshot (the
+    /// entries whose heap pages a scan will touch next); `next_leaf()` is
+    /// the chain pointer the next Refill will follow.
+    uint64_t refills() const { return refills_; }
+    std::span<const BTreeEntry> remaining() const {
+      return {buf_.data() + pos_, buf_.size() - pos_};
+    }
+    PageNum next_leaf() const { return next_leaf_; }
+
    private:
     /// Walks the leaf chain from `next_leaf_` until a leaf yields entries
     /// with key >= `min_key` (`exclusive`: key > `min_key` — the resume
@@ -99,6 +112,7 @@ class BTree {
     std::vector<BTreeEntry> buf_;  ///< Snapshot of one leaf's tail.
     size_t pos_ = 0;
     PageNum next_leaf_ = kInvalidPageNum;
+    uint64_t refills_ = 0;
     bool valid_ = false;
   };
 

@@ -57,28 +57,41 @@ BufferPool::BufferPool(io::Volume* volume, BufferPoolOptions options,
     : volume_(volume),
       options_(options),
       log_flush_(std::move(log_flush)),
-      arena_(new uint8_t[options.frame_count * kPageSize]),
+      // 4096-aligned so every frame is O_DIRECT-capable in place.
+      arena_(static_cast<uint8_t*>(
+          std::aligned_alloc(4096, options.frame_count * kPageSize))),
       frames_(options.frame_count),
       table_(MakeFrameTable(options.table_kind, options.frame_count)),
       free_frames_(static_cast<uint32_t>(options.frame_count)),
       in_transit_(options.transit_shards),
-      clock_stats_("bpool.clock") {
+      clock_stats_("bpool.clock"),
+      io_(std::make_unique<io::IoScheduler>(volume, options.io)) {
   sync::SyncStatsRegistry::Instance().Register(&clock_stats_);
   for (uint32_t i = 0; i < options.frame_count; ++i) free_frames_.Push(i);
   if (options_.enable_cleaner) {
-    // The background cleaner: woken by the interval tick, by MarkDirty's
+    // The background cleaners: woken by the interval tick, by MarkDirty's
     // dirty-ratio trigger, or by WakeCleaner() (log-segment pressure
     // from the flush pipeline); each wake-up runs one incremental pass
-    // over the oldest dirty pages — never a busy-wait, never a
-    // pool-wide stall.
-    cleaner_daemon_.Start(
-        std::chrono::microseconds(options_.cleaner_interval_us),
-        [this] { (void)CleanerPass(options_.cleaner_batch); });
+    // over the oldest dirty pages of the daemon's page-id partition —
+    // never a busy-wait, never a pool-wide stall.
+    size_t n = std::max<size_t>(1, options_.cleaner_threads);
+    cleaner_daemons_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto d = std::make_unique<sync::PeriodicDaemon>();
+      d->Start(std::chrono::microseconds(options_.cleaner_interval_us),
+               [this, i, n] {
+                 (void)CleanerPassImpl(options_.cleaner_batch, i, n);
+               });
+      cleaner_daemons_.push_back(std::move(d));
+    }
   }
 }
 
 BufferPool::~BufferPool() {
-  cleaner_daemon_.Stop();
+  for (auto& d : cleaner_daemons_) d->Stop();
+  // io_ (and its workers, which may still be completing prefetch reads
+  // into the arena) is torn down by member destruction, before the arena
+  // and frame structures it touches.
   sync::SyncStatsRegistry::Instance().Unregister(&clock_stats_);
 }
 
@@ -92,7 +105,9 @@ void BufferPool::SetCleanerWritebackHook(std::function<void()> fn) {
   cleaner_writeback_hook_ = std::move(fn);
 }
 
-void BufferPool::WakeCleaner() { cleaner_daemon_.Wake(); }
+void BufferPool::WakeCleaner() {
+  for (auto& d : cleaner_daemons_) d->Wake();
+}
 
 void BufferPool::NoteFirstDirty(PageNum page, uint64_t rec_lsn) {
   size_t dirty = dpt_.Insert(page, rec_lsn);
@@ -160,6 +175,10 @@ Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
       }
       continue;
     }
+    // A prefetch (or a write-back) may have this page in transit: wait it
+    // out and re-probe — a completed prefetch installs the mapping, so
+    // what was a miss becomes a hit instead of a duplicate device read.
+    if (in_transit_.WaitUntilClear(page)) continue;
     // Miss: bring the page in ourselves. HandleMiss publishes the mapping
     // *before* the disk read and returns with the frame latched exclusive,
     // so concurrent fixers of the same page queue on the latch instead of
@@ -387,6 +406,11 @@ Lsn BufferPool::ScanMinRecLsn() const {
 }
 
 Status BufferPool::CleanerPass(size_t max_pages) {
+  return CleanerPassImpl(max_pages, 0, 1);
+}
+
+Status BufferPool::CleanerPassImpl(size_t max_pages, size_t partition,
+                                   size_t partitions) {
   stats_.cleaner_sweeps.fetch_add(1, std::memory_order_relaxed);
   // Copy the owner-wired hooks under the cleaner mutex: they are set
   // after construction, possibly while the daemon is already running.
@@ -404,34 +428,112 @@ Status BufferPool::CleanerPass(size_t max_pages) {
   uint64_t sweep_start_lsn = lsn_provider ? lsn_provider().value : 0;
   uint64_t newest_seen = cleaner_lsn_.load(std::memory_order_relaxed);
   Status first_error = Status::Ok();
-  // Oldest-first: writing back the pages that pin the minimum rec_lsn is
-  // what advances the redo low-water mark (and the log recycle horizon).
+
+  // Gather phase. Oldest-first: writing back the pages that pin the
+  // minimum rec_lsn is what advances the redo low-water mark (and the log
+  // recycle horizon). Every page is claimed non-blockingly — TryAcquire
+  // because the cleaner ends up holding many latches at once and must
+  // never block on one (a fixer holding this page exclusive may itself be
+  // waiting on a latch the cleaner already gathered), and TryAdd because
+  // an eviction may already have the page in transit.
+  struct Gathered {
+    PageNum page;
+    int frame;
+  };
+  std::vector<Gathered> batch;
   for (PageNum page : dpt_.OldestPages(max_pages)) {
+    if (partitions > 1 && page % partitions != partition) continue;
     // Pin through the locked path so eviction cannot race us.
     int frame = table_->FindAndPin(page, [&](int fr) {
       frames_[fr].pins.fetch_add(1, std::memory_order_acquire);
     });
     if (frame < 0) continue;  // Evicted (and thus written) meanwhile.
     Frame& pf = frames_[frame];
-    pf.latch.AcquireShared();
-    if (pf.page.load(std::memory_order_acquire) == page &&
-        pf.dirty.load(std::memory_order_acquire)) {
-      Status st = WriteBack(frame, page);
-      if (st.ok()) {
-        newest_seen = std::max(
-            newest_seen, page::HeaderOf(FrameData(frame))->page_lsn);
-        pf.dirty.store(false, std::memory_order_release);
-        pf.rec_lsn.store(0, std::memory_order_relaxed);
-        dpt_.Erase(page);
-        stats_.cleaner_writes.fetch_add(1, std::memory_order_relaxed);
-        if (writeback_hook) writeback_hook();
-      } else if (first_error.ok()) {
-        first_error = st;  // Best effort: keep cleaning, report the first.
-      }
+    if (!pf.latch.TryAcquire(sync::LatchMode::kShared)) {
+      pf.Unpin();  // Contended: the next pass will retry this page.
+      continue;
     }
-    pf.latch.ReleaseShared();
-    pf.Unpin();
+    if (pf.page.load(std::memory_order_acquire) != page ||
+        !pf.dirty.load(std::memory_order_acquire) ||
+        !in_transit_.TryAdd(page)) {
+      pf.latch.ReleaseShared();
+      pf.Unpin();
+      continue;
+    }
+    batch.push_back({page, frame});
   }
+  if (batch.empty()) {
+    Lsn dpt_min = dpt_.MinRecLsn();
+    uint64_t publish = !dpt_min.IsNull()
+                           ? dpt_min.value
+                           : (lsn_provider ? sweep_start_lsn : newest_seen);
+    cleaner_lsn_.store(publish, std::memory_order_release);
+    return Status::Ok();
+  }
+
+  // Page-id order maximizes adjacent runs for the ring's coalescing.
+  std::sort(batch.begin(), batch.end(),
+            [](const Gathered& a, const Gathered& b) {
+              return a.page < b.page;
+            });
+
+  // WAL once for the whole batch: a single flush to the max page LSN
+  // covers every member (this replaces one flush per page).
+  uint64_t batch_max_lsn = 0;
+  for (const Gathered& g : batch) {
+    batch_max_lsn = std::max(batch_max_lsn,
+                             page::HeaderOf(FrameData(g.frame))->page_lsn);
+    newest_seen = std::max(newest_seen,
+                           page::HeaderOf(FrameData(g.frame))->page_lsn);
+  }
+  if (log_flush_) {
+    Status st = log_flush_(Lsn{batch_max_lsn});
+    if (!st.ok()) {
+      // Nothing was submitted: unwind every claim and report.
+      for (const Gathered& g : batch) {
+        in_transit_.Remove(g.page);
+        frames_[g.frame].latch.ReleaseShared();
+        frames_[g.frame].Unpin();
+      }
+      return st;
+    }
+  }
+
+  // Submit the batch as coalesced vectored writes; each page's completion
+  // (on the I/O worker) clears its dirty state and releases its claim, so
+  // fixers blocked on a latch or the transit entry resume as soon as THAT
+  // page lands, not when the whole batch drains. DPT erase precedes the
+  // transit remove — a re-read waiting on the entry may re-dirty the page
+  // and insert a fresh DPT record we must not clobber (same rule as the
+  // eviction path).
+  auto ring = io_->CreateRing();
+  for (const Gathered& g : batch) {
+    PageNum page = g.page;
+    int frame = g.frame;
+    ring->QueueWrite(page, FrameData(frame),
+                     [this, page, frame, &writeback_hook](PageNum, Status st) {
+                       Frame& pf = frames_[frame];
+                       if (st.ok()) {
+                         pf.dirty.store(false, std::memory_order_release);
+                         pf.rec_lsn.store(0, std::memory_order_relaxed);
+                         dpt_.Erase(page);
+                         stats_.cleaner_writes.fetch_add(
+                             1, std::memory_order_relaxed);
+                         if (writeback_hook) writeback_hook();
+                       }
+                       in_transit_.Remove(page);
+                       pf.latch.ReleaseShared();
+                       pf.Unpin();
+                     });
+  }
+  ring->Submit();
+  // Drain keeps the pass synchronous from the daemon's point of view
+  // (the next wake-up starts from a settled dirty-page table) and blocks
+  // until every callback has run — which is what makes the by-reference
+  // hook capture above safe.
+  first_error = ring->Drain();
+  stats_.cleaner_batches.fetch_add(1, std::memory_order_relaxed);
+
   // Publish the low-water mark: the dirty-page table's incremental min is
   // exact while entries remain; after a drained (full) pass fall back to
   // the §7.7 publication so CleanerTrackedLsn keeps its historical
@@ -442,6 +544,78 @@ Status BufferPool::CleanerPass(size_t max_pages) {
                          : (lsn_provider ? sweep_start_lsn : newest_seen);
   cleaner_lsn_.store(publish, std::memory_order_release);
   return first_error;
+}
+
+size_t BufferPool::PrefetchPages(std::span<const PageNum> pages) {
+  if (options_.prefetch_window == 0) return 0;
+  size_t issued = 0;
+  for (PageNum page : pages) {
+    if (page == kInvalidPageNum) continue;
+    if (prefetch_inflight_.load(std::memory_order_relaxed) >=
+        options_.prefetch_window) {
+      stats_.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (table_->FindOptimistic(page) >= 0) continue;  // Already resident.
+    // Claim the page's device image. The entry makes concurrent fixers
+    // wait (FixPage's miss path) instead of double-reading, and excludes
+    // a concurrent prefetch of the same page.
+    if (!in_transit_.TryAdd(page)) continue;
+    // Recheck under the claim: a fixer that probed before our TryAdd may
+    // have installed the mapping already (it could not AFTER the claim —
+    // its miss path waits on the entry).
+    if (table_->FindOptimistic(page) >= 0) {
+      in_transit_.Remove(page);
+      continue;
+    }
+    auto fr = AllocateFrame();
+    if (!fr.ok()) {
+      in_transit_.Remove(page);
+      stats_.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;  // No evictable frame: shed, don't block a scan on this.
+    }
+    int frame = *fr;
+    prefetch_inflight_.fetch_add(1, std::memory_order_relaxed);
+    Status st = io_->TrySubmitDetached(
+        io::IoOpKind::kRead, page, FrameData(frame),
+        [this, frame](PageNum p, Status s) { FinishPrefetch(frame, p, s); });
+    if (!st.ok()) {
+      // Slots exhausted: undo the claim and recycle the frame.
+      prefetch_inflight_.fetch_sub(1, std::memory_order_relaxed);
+      in_transit_.Remove(page);
+      free_frames_.Push(static_cast<uint32_t>(frame));
+      stats_.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+    ++issued;
+  }
+  return issued;
+}
+
+void BufferPool::FinishPrefetch(int frame, PageNum page, Status st) {
+  Frame& f = frames_[frame];
+  bool installed = false;
+  if (st.ok()) {
+    // Publish unpinned and unlatched: the image is complete (this runs
+    // after the device call), so the first fixer pins an ordinary hit.
+    f.pins.store(0, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.rec_lsn.store(0, std::memory_order_relaxed);
+    f.referenced.store(true, std::memory_order_relaxed);
+    f.page.store(page, std::memory_order_release);
+    if (table_->Insert(page, frame)) {
+      installed = true;
+      stats_.prefetch_installed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A NewPage of a recycled page id won the table; yield our copy.
+      f.page.store(kInvalidPageNum, std::memory_order_relaxed);
+    }
+  }
+  if (!installed) free_frames_.Push(static_cast<uint32_t>(frame));
+  // Clear the claim LAST: waiters re-probe and now find the mapping.
+  in_transit_.Remove(page);
+  prefetch_inflight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void BufferPool::UnfixInternal(int frame, sync::LatchMode mode) {

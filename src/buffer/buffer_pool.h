@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "buffer/in_transit.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "io/io_scheduler.h"
 #include "io/volume.h"
 #include "sync/lockfree_stack.h"
 #include "sync/periodic_daemon.h"
@@ -51,6 +54,16 @@ struct BufferPoolOptions {
   /// Back-pressure trigger: MarkDirty wakes the cleaner once dirty pages
   /// exceed this fraction of the pool (only with enable_cleaner).
   double cleaner_dirty_ratio = 0.25;
+  /// Cleaner daemons (page-id partitioned: daemon i owns pages with
+  /// page % cleaner_threads == i, so two daemons never contend for the
+  /// same dirty page). Each daemon submits its batch through its own
+  /// I/O ring as coalesced vectored write-backs.
+  size_t cleaner_threads = 1;
+  /// Max detached prefetch reads in flight pool-wide; PrefetchPages drops
+  /// (never blocks) beyond this. 0 disables prefetching.
+  size_t prefetch_window = 64;
+  /// Async I/O spine tuning (workers, slots, ring window, coalescing cap).
+  io::IoSchedulerOptions io;
 };
 
 /// Aggregate counters for benches and calibration.
@@ -63,6 +76,10 @@ struct BufferPoolStats {
   std::atomic<uint64_t> dirty_writebacks{0};
   std::atomic<uint64_t> cleaner_writes{0};
   std::atomic<uint64_t> cleaner_sweeps{0};
+  std::atomic<uint64_t> cleaner_batches{0};     ///< Sweeps that submitted a batch.
+  std::atomic<uint64_t> prefetch_issued{0};     ///< Detached reads submitted.
+  std::atomic<uint64_t> prefetch_dropped{0};    ///< Shed by window/slots/frames.
+  std::atomic<uint64_t> prefetch_installed{0};  ///< Completed into the table.
 };
 
 class BufferPool;
@@ -187,10 +204,22 @@ class BufferPool {
   /// on every wake-up; tests and checkpoint cold starts call it directly.
   Status CleanerPass(size_t max_pages);
 
-  /// Wakes the background cleaner daemon immediately (no-op without one).
+  /// Wakes the background cleaner daemons immediately (no-op without any).
   /// Called on log-segment pressure by the flush pipeline's hook and by
   /// the dirty-ratio trigger — a cv notify, never a busy-wait.
   void WakeCleaner();
+
+  /// Readahead: starts detached asynchronous reads for the pages not
+  /// already cached, bounded by `prefetch_window`. Never blocks and never
+  /// fails — saturation (no free I/O slot, no evictable frame, window
+  /// full) just drops the hint. A prefetched frame enters the pool
+  /// unlatched with zero pins once its read completes; until then the
+  /// page's in-transit entry makes concurrent fixers wait instead of
+  /// issuing a duplicate read. Returns the number of reads issued.
+  size_t PrefetchPages(std::span<const PageNum> pages);
+
+  /// The async I/O spine (benches submit through their own rings).
+  io::IoScheduler* io() { return io_.get(); }
 
   /// `fn` is invoked (from the cleaner thread) once per page the cleaner
   /// writes back — the storage manager mirrors the count into
@@ -220,6 +249,16 @@ class BufferPool {
   Result<int> AllocateFrame();
   /// Writes frame's dirty image to the volume (log flushed first).
   Status WriteBack(int frame, PageNum page);
+  /// One cleaner round over `partition` of `partitions` (page-id modulo):
+  /// gathers the oldest dirty pages non-blockingly, WAL-flushes once to
+  /// the batch's max page LSN, then submits the batch as coalesced
+  /// vectored writes through an I/O ring and harvests completions.
+  Status CleanerPassImpl(size_t max_pages, size_t partition,
+                         size_t partitions);
+  /// Prefetch completion (runs on the I/O worker): publishes the frame's
+  /// mapping on success, recycles the frame otherwise, clears the
+  /// in-transit entry last.
+  void FinishPrefetch(int frame, PageNum page, Status st);
   void UnfixInternal(int frame, sync::LatchMode mode);
   /// MarkDirty's clean→dirty transition: registers the page in the
   /// dirty-page table and fires the dirty-ratio cleaner trigger.
@@ -229,11 +268,17 @@ class BufferPool {
     return arena_.get() + static_cast<size_t>(frame) * kPageSize;
   }
 
+  struct FreeDeleter {
+    void operator()(uint8_t* p) const { std::free(p); }
+  };
+
   io::Volume* volume_;
   BufferPoolOptions options_;
   LogFlushFn log_flush_;
   LsnProviderFn lsn_provider_;
-  std::unique_ptr<uint8_t[]> arena_;
+  /// aligned_alloc'd to the O_DIRECT block size so every frame is a valid
+  /// direct-I/O buffer (kPageSize is a multiple of the alignment).
+  std::unique_ptr<uint8_t[], FreeDeleter> arena_;
   std::vector<Frame> frames_;
   std::unique_ptr<FrameTable> table_;
   sync::LockFreeIndexStack free_frames_;
@@ -250,9 +295,16 @@ class BufferPool {
   std::function<void()> cleaner_writeback_hook_;
   std::mutex hooks_mutex_;  ///< Guards lsn_provider_ + writeback hook.
   std::atomic<uint64_t> cleaner_lsn_{0};
-  /// Background cleaner (shared cv-daemon scaffold): interval tick +
-  /// WakeCleaner kicks, one incremental CleanerPass per wake-up.
-  sync::PeriodicDaemon cleaner_daemon_;
+  /// Detached prefetch reads currently in flight (bounds PrefetchPages).
+  std::atomic<size_t> prefetch_inflight_{0};
+  /// The async I/O spine. Declared after every structure its worker-side
+  /// completions touch (frames, table, transit, DPT, stats) and after the
+  /// arena, so its destructor — which executes everything still queued and
+  /// joins the workers — runs while all of them are alive.
+  std::unique_ptr<io::IoScheduler> io_;
+  /// Background cleaners (shared cv-daemon scaffold): interval tick +
+  /// WakeCleaner kicks, one incremental partitioned pass per wake-up.
+  std::vector<std::unique_ptr<sync::PeriodicDaemon>> cleaner_daemons_;
 };
 
 }  // namespace shoremt::buffer

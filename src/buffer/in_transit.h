@@ -35,6 +35,21 @@ class InTransitTable {
     adds_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Registers `page` unless an entry already exists; false when it does.
+  /// The async consumers (prefetch reads, batched cleaner write-backs)
+  /// use this as their claim on the page's device image: whoever holds
+  /// the entry is the only mover, everyone else skips or waits.
+  bool TryAdd(PageNum page) {
+    Shard& s = ShardFor(page);
+    std::lock_guard<std::mutex> guard(s.mutex);
+    for (PageNum p : s.pages) {
+      if (p == page) return false;
+    }
+    s.pages.push_back(page);
+    adds_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Removes `page` and wakes any waiting readers.
   void Remove(PageNum page) {
     Shard& s = ShardFor(page);
@@ -52,7 +67,10 @@ class InTransitTable {
   }
 
   /// Blocks until `page` is no longer in transit (no-op if it never was).
-  void WaitUntilClear(PageNum page) {
+  /// Returns true when it actually had to wait — callers such as the miss
+  /// path use that to re-probe the frame table, because the completion
+  /// that cleared the entry may have installed the page.
+  bool WaitUntilClear(PageNum page) {
     Shard& s = ShardFor(page);
     std::unique_lock<std::mutex> guard(s.mutex);
     bool waited = false;
@@ -66,6 +84,7 @@ class InTransitTable {
       return true;
     });
     if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
+    return waited;
   }
 
   uint64_t adds() const { return adds_.load(std::memory_order_relaxed); }

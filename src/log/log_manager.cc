@@ -14,6 +14,7 @@ LogManager::LogManager(LogStorage* storage, LogOptions options)
   }
   if (!options_.archive_dir.empty()) {
     storage_->set_archive_dir(options_.archive_dir);
+    storage_->set_archive_direct_io(options_.direct_io);
   }
   // Assigned in the body so stats_ is fully constructed before the buffer
   // (which publishes consolidation counters into it) exists; same for the

@@ -105,6 +105,12 @@ class LogStorage {
   void set_archive_dir(std::string dir);
   std::string archive_dir() const;
 
+  /// While true (and an archive dir is set), Recycle writes segment files
+  /// with O_DIRECT — the archive traffic is write-once cold data that
+  /// should not evict warm page-cache entries. Falls back to buffered
+  /// stdio per file where the filesystem rejects O_DIRECT (tmpfs).
+  void set_archive_direct_io(bool on);
+
   /// Geometry of the live segment covering absolute byte `offset`:
   /// shipping needs to know where the covering segment starts, how big it
   /// is, and whether it is sealed (filled == capacity). `found` is false
@@ -178,6 +184,10 @@ class LogStorage {
   /// mutex_. Returns false on any I/O failure (caller must keep the
   /// segment live).
   bool ArchiveSegmentLocked(const Segment& seg);
+  /// O_DIRECT segment-file write; returns false when the direct path is
+  /// unusable (caller falls back to buffered), else `*ok` = outcome.
+  bool WriteSegmentDirect(const std::string& path, const Segment& seg,
+                          bool* ok);
   /// Copies [offset, offset+len) out of the segment chain. Caller holds
   /// mutex_ and has validated the range.
   void CopyOutLocked(uint64_t offset, size_t len, uint8_t* out) const;
@@ -191,6 +201,7 @@ class LogStorage {
   std::deque<Segment> segments_;
   LogStats* attached_stats_ = nullptr;  ///< Guarded by mutex_.
   std::string archive_dir_;             ///< Guarded by mutex_; "" = off.
+  bool archive_direct_ = false;         ///< Guarded by mutex_.
   std::atomic<uint64_t> size_{0};
   /// Absolute offset below which bytes are reclaimable (recycled segments
   /// are gone; a straddling segment keeps its sub-horizon bytes readable).

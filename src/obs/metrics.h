@@ -44,9 +44,18 @@ enum class Metric : uint32_t {
   kReplBytesStreamed,    ///< Log bytes that crossed the wire.
   kReplReplayBatches,    ///< Replay-worker dequeue batches.
   kReplLagBytes,         ///< GAUGE: shipped-but-not-replayed log bytes.
+  // --- async I/O spine (src/io) ---------------------------------------------
+  kIoReads,            ///< Volume read calls (a vectored call counts once).
+  kIoWrites,           ///< Volume write calls (a vectored call counts once).
+  kIoReadNs,           ///< Nanoseconds inside volume read calls.
+  kIoWriteNs,          ///< Nanoseconds inside volume write calls.
+  kIoBatchedOps,       ///< Device calls that carried more than one page.
+  kIoCoalescedPages,   ///< Pages that rode a call beyond its first.
+  kIoPrefetchIssued,   ///< Detached readahead reads submitted.
+  kIoPrefetchDropped,  ///< Readahead hints shed (window/slots/frames).
 };
 
-inline constexpr size_t kMetricCount = 24;
+inline constexpr size_t kMetricCount = 32;
 
 /// Gauges report a level, not a monotone count: the profiling feed emits
 /// their raw value each tick instead of a delta, and keeps no high-water
@@ -81,6 +90,14 @@ constexpr std::string_view MetricName(Metric m) {
     case Metric::kReplBytesStreamed: return "repl_bytes_streamed";
     case Metric::kReplReplayBatches: return "repl_replay_batches";
     case Metric::kReplLagBytes: return "repl_lag_bytes";
+    case Metric::kIoReads: return "io_reads";
+    case Metric::kIoWrites: return "io_writes";
+    case Metric::kIoReadNs: return "io_read_ns";
+    case Metric::kIoWriteNs: return "io_write_ns";
+    case Metric::kIoBatchedOps: return "io_batched_ops";
+    case Metric::kIoCoalescedPages: return "io_coalesced_pages";
+    case Metric::kIoPrefetchIssued: return "io_prefetch_issued";
+    case Metric::kIoPrefetchDropped: return "io_prefetch_dropped";
   }
   return "?";
 }

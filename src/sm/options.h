@@ -93,6 +93,16 @@ struct StorageOptions {
   /// newest snapshot-carrying checkpoint record so recovery's analysis
   /// can always bootstrap the metadata maps.
   size_t checkpoint_snapshot_every = 4;
+  /// Cursor range scans prefetch up to this many upcoming heap/leaf pages
+  /// through the buffer pool's detached async-read path (0 = off). Issued
+  /// once per buffered-leaf generation, so a scan stays at most one leaf
+  /// ahead of consumption.
+  size_t scan_readahead = 8;
+  /// Recovery redo buffers log records in windows of this size and
+  /// prefetches the distinct pages the window names before applying it in
+  /// order (0 = apply record-at-a-time as before). Byte-identical: only
+  /// the page reads move earlier, never the redo application.
+  size_t recovery_prefetch_window = 64;
   /// See OpenMode; replication paths (src/repl) set the non-default modes.
   OpenMode open_mode = OpenMode::kRecover;
 

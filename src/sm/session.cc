@@ -1,5 +1,7 @@
 #include "sm/session.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "page/slotted_page.h"
 
@@ -298,11 +300,36 @@ Status Cursor::Next() {
   return SettleOnRow();
 }
 
+void Cursor::MaybeReadahead() {
+  size_t window = session_->sm_->options().scan_readahead;
+  if (window == 0 || !it_.Valid()) return;
+  // Once per buffered-leaf generation: the iterator's snapshot names the
+  // heap pages this scan is about to fix, and the next-leaf pointer names
+  // the index page the next Refill will fix. Prefetch both, deduplicated,
+  // up to the window.
+  if (it_.refills() == last_refill_gen_) return;
+  last_refill_gen_ = it_.refills();
+  ra_buf_.clear();
+  for (const btree::BTreeEntry& e : it_.remaining()) {
+    if (ra_buf_.size() >= window) break;
+    PageNum heap_page = btree::UnpackRecordId(e.value).page;
+    if (std::find(ra_buf_.begin(), ra_buf_.end(), heap_page) ==
+        ra_buf_.end()) {
+      ra_buf_.push_back(heap_page);
+    }
+  }
+  if (ra_buf_.size() < window && it_.next_leaf() != kInvalidPageNum) {
+    ra_buf_.push_back(it_.next_leaf());
+  }
+  session_->sm_->pool()->PrefetchPages(ra_buf_);
+}
+
 Status Cursor::SettleOnRow() {
   StorageManager* sm = session_->sm_;
   btree::BTree* index = sm->index_of(table_);
   if (index == nullptr) return Status::NotFound("unknown table");
   while (it_.Valid()) {
+    MaybeReadahead();  // Cheap generation check; fires once per refill.
     RecordId rid = it_.record();
     SHOREMT_RETURN_NOT_OK(session_->txn_->locks.LockRecord(
         table_.heap_store, rid, lock::LockMode::kS));

@@ -62,10 +62,17 @@ class Cursor {
   /// still exists, leaving the cursor on it (or invalid at end).
   Status SettleOnRow();
 
+  /// Issues bounded-window prefetch for the heap pages of the iterator's
+  /// remaining buffered entries plus the next leaf, once per leaf
+  /// snapshot generation (StorageOptions::scan_readahead; 0 disables).
+  void MaybeReadahead();
+
   Session* session_;
   TableInfo table_;
   btree::BTree::Iterator it_;
   std::vector<uint8_t> value_buf_;
+  std::vector<PageNum> ra_buf_;  ///< Scratch for MaybeReadahead.
+  uint64_t last_refill_gen_ = 0;
   uint64_t key_ = 0;
   bool valid_ = false;
 };

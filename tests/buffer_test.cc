@@ -463,5 +463,180 @@ TEST(BufferPoolSingleTest, ConcurrentFixStormKeepsDataIntact) {
   EXPECT_EQ(total, 4u * kOpsPerThread);
 }
 
+TEST(BufferPoolSingleTest, PrefetchInstallsAndDedupesAgainstMisses) {
+  io::MemVolume vol;
+  ASSERT_TRUE(vol.Extend(256).ok());
+  // Seed fingerprinted pages straight on the volume.
+  std::vector<uint8_t> img(kPageSize);
+  for (PageNum p = 1; p <= 128; ++p) {
+    page::FormatPage(img.data(), p, 1, page::PageType::kData);
+    img[kPageSize - 1] = static_cast<uint8_t>(p);
+    ASSERT_TRUE(vol.WritePage(p, img.data()).ok());
+  }
+  BufferPoolOptions o = SmallPool(64);
+  o.prefetch_window = 32;
+  BufferPool pool(&vol, o);
+
+  // Concurrent prefetchers and fixers over the same page set: every fix
+  // must observe the correct image, whichever side loaded it first.
+  std::vector<PageNum> ids;
+  for (PageNum p = 1; p <= 128; ++p) ids.push_back(p);
+  std::thread prefetcher([&] {
+    for (int round = 0; round < 8; ++round) {
+      for (size_t at = 0; at < ids.size(); at += 16) {
+        pool.PrefetchPages(
+            std::span<const PageNum>(ids.data() + at,
+                                     std::min<size_t>(16, ids.size() - at)));
+      }
+    }
+  });
+  std::vector<std::thread> fixers;
+  for (int t = 0; t < 3; ++t) {
+    fixers.emplace_back([&, t] {
+      Rng rng(t + 7);
+      for (int i = 0; i < 400; ++i) {
+        PageNum p = 1 + rng.Uniform(128);
+        auto h = pool.FixPage(p, LatchMode::kShared);
+        ASSERT_TRUE(h.ok()) << h.status().ToString();
+        ASSERT_EQ(h->data()[kPageSize - 1], static_cast<uint8_t>(p));
+      }
+    });
+  }
+  prefetcher.join();
+  for (auto& f : fixers) f.join();
+  // Every submitted read completed (the pool is being destroyed next, so
+  // the scheduler must be drained), and installs never exceed issues.
+  EXPECT_GE(pool.stats().prefetch_issued.load(),
+            pool.stats().prefetch_installed.load());
+  EXPECT_GT(pool.stats().prefetch_issued.load(), 0u);
+}
+
+TEST(BufferPoolSingleTest, PrefetchedPagesBecomeHitsNotDuplicateReads) {
+  io::MemVolume vol;
+  ASSERT_TRUE(vol.Extend(64).ok());
+  std::vector<uint8_t> img(kPageSize);
+  for (PageNum p = 1; p <= 16; ++p) {
+    page::FormatPage(img.data(), p, 1, page::PageType::kData);
+    ASSERT_TRUE(vol.WritePage(p, img.data()).ok());
+  }
+  BufferPool pool(&vol, SmallPool(32));
+  std::vector<PageNum> ids = {1, 2, 3, 4, 5, 6, 7, 8};
+  pool.PrefetchPages(ids);
+  // Wait for the detached reads to land (installed count is published by
+  // the worker after the table insert).
+  while (pool.stats().prefetch_installed.load() < ids.size()) {
+    std::this_thread::yield();
+  }
+  uint64_t misses_before = pool.stats().misses.load();
+  for (PageNum p : ids) {
+    auto h = pool.FixPage(p, LatchMode::kShared);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(pool.stats().misses.load(), misses_before)
+      << "prefetched pages must fix as hits";
+}
+
+TEST(BufferPoolSingleTest, BatchedCleanerSurvivesEvictionRaces) {
+  io::MemVolume vol;
+  ASSERT_TRUE(vol.Extend(512).ok());
+  BufferPoolOptions o = SmallPool(16);  // Small pool: constant eviction.
+  o.cleaner_threads = 2;
+  BufferPool pool(&vol, o);
+  // Writers dirty pages while cleaner passes run concurrently; eviction
+  // pressure makes the cleaner and the eviction write-back race for the
+  // same dirty pages (arbitrated by the in-transit claims).
+  std::atomic<bool> stop{false};
+  std::thread cleaner([&] {
+    while (!stop.load()) {
+      (void)pool.CleanerPass(8);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(t + 11);
+      for (int i = 0; i < 300; ++i) {
+        PageNum p = 1 + rng.Uniform(96);
+        auto h = pool.FixPage(p, LatchMode::kExclusive);
+        if (!h.ok()) {
+          // First touch may race another first toucher; format via NewPage.
+          auto nh = pool.NewPage(p);
+          ASSERT_TRUE(nh.ok()) << nh.status().ToString();
+          page::SlottedPage sp(nh->data());
+          sp.Init(p, 1, page::PageType::kData);
+          uint64_t zero = 0;
+          ASSERT_TRUE(sp.Insert({reinterpret_cast<uint8_t*>(&zero),
+                                 sizeof(zero)})
+                          .ok());
+          nh->MarkDirty(Lsn{1}, Lsn{1});
+          continue;
+        }
+        page::SlottedPage sp(h->data());
+        if (sp.header()->magic != page::kPageMagic) {
+          sp.Init(p, 1, page::PageType::kData);
+          uint64_t zero = 0;
+          ASSERT_TRUE(sp.Insert({reinterpret_cast<uint8_t*>(&zero),
+                                 sizeof(zero)})
+                          .ok());
+          h->MarkDirty(Lsn{1}, Lsn{1});
+          continue;
+        }
+        auto rec = sp.Read(0);
+        ASSERT_TRUE(rec.ok());
+        uint64_t v;
+        std::memcpy(&v, rec->data(), sizeof(v));
+        ++v;
+        ASSERT_TRUE(
+            sp.Update(0, {reinterpret_cast<uint8_t*>(&v), sizeof(v)}).ok());
+        h->MarkDirty(Lsn{v + 1}, Lsn{v + 1});
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  cleaner.join();
+  // Under full contention every concurrent pass may legitimately come up
+  // empty (eviction wrote the page first, or a writer held the latch and
+  // TryAcquire refused to block) — so assert on a quiesced final pass:
+  // the writers' last updates left resident dirty frames nothing evicted.
+  ASSERT_TRUE(pool.CleanerPass(64).ok());
+  EXPECT_GT(pool.stats().cleaner_writes.load(), 0u);
+  // Everything the cleaner and eviction wrote must still read back
+  // intact — no torn images, no lost updates from double write-back.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (PageNum p = 1; p <= 96; ++p) {
+    auto h = pool.FixPage(p, LatchMode::kShared);
+    ASSERT_TRUE(h.ok());
+    page::SlottedPage sp(const_cast<uint8_t*>(h->data()));
+    if (sp.header()->magic != page::kPageMagic) continue;  // Never written.
+    EXPECT_EQ(sp.header()->page_num, p);
+  }
+}
+
+TEST(BufferPoolSingleTest, CleanerBatchesCoalesceAdjacentPages) {
+  io::MemVolume vol;
+  ASSERT_TRUE(vol.Extend(256).ok());
+  BufferPoolOptions o = SmallPool(64);
+  BufferPool pool(&vol, o);
+  // Dirty an adjacent page range, then run one cleaner pass: the batch
+  // sorts by page id and must coalesce into far fewer device calls than
+  // pages written.
+  for (PageNum p = 10; p < 42; ++p) {
+    auto h = pool.NewPage(p);
+    ASSERT_TRUE(h.ok());
+    page::FormatPage(h->data(), p, 1, page::PageType::kData);
+    h->MarkDirty(Lsn{p}, Lsn{p});
+  }
+  uint64_t calls_before = vol.stats().writes.load();
+  uint64_t pages_before = vol.stats().pages_written.load();
+  ASSERT_TRUE(pool.CleanerSweep().ok());
+  uint64_t calls = vol.stats().writes.load() - calls_before;
+  uint64_t pages = vol.stats().pages_written.load() - pages_before;
+  EXPECT_EQ(pages, 32u);
+  EXPECT_LT(calls, pages) << "adjacent dirty pages must coalesce";
+  EXPECT_EQ(pool.stats().cleaner_writes.load(), 32u);
+  EXPECT_GE(pool.stats().cleaner_batches.load(), 1u);
+}
+
 }  // namespace
 }  // namespace shoremt::buffer
