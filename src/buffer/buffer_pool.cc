@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "io/retry.h"
 #include "page/page.h"
 
 namespace shoremt::buffer {
@@ -85,9 +86,16 @@ BufferPool::BufferPool(io::Volume* volume, BufferPoolOptions options,
       cleaner_daemons_.push_back(std::move(d));
     }
   }
+  if (options_.enable_scrubber) {
+    scrub_daemon_ = std::make_unique<sync::PeriodicDaemon>();
+    scrub_daemon_->Start(
+        std::chrono::microseconds(options_.scrub_interval_us),
+        [this] { (void)ScrubPass(options_.scrub_pages_per_pass); });
+  }
 }
 
 BufferPool::~BufferPool() {
+  if (scrub_daemon_) scrub_daemon_->Stop();
   for (auto& d : cleaner_daemons_) d->Stop();
   // io_ (and its workers, which may still be completing prefetch reads
   // into the arena) is torn down by member destruction, before the arena
@@ -103,6 +111,45 @@ void BufferPool::SetLsnProvider(LsnProviderFn provider) {
 void BufferPool::SetCleanerWritebackHook(std::function<void()> fn) {
   std::lock_guard<std::mutex> guard(hooks_mutex_);
   cleaner_writeback_hook_ = std::move(fn);
+}
+
+void BufferPool::SetPageRepairer(PageRepairFn fn) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  page_repairer_ = std::move(fn);
+}
+
+Status BufferPool::TryRepairPage(PageNum page, uint8_t* img) {
+  stats_.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+  PageRepairFn repairer;
+  {
+    std::lock_guard<std::mutex> guard(hooks_mutex_);
+    repairer = page_repairer_;
+  }
+  if (!repairer) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " failed checksum verification (LSN " +
+                              std::to_string(page::HeaderOf(img)->page_lsn) +
+                              " on the damaged image); no repair source");
+  }
+  Status st = repairer(page, img);
+  if (!st.ok()) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " failed checksum verification and repair: " +
+                              st.message());
+  }
+  stats_.pages_repaired.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status BufferPool::TakePrefetchError(PageNum page) {
+  std::lock_guard<std::mutex> guard(prefetch_err_mutex_);
+  auto it = prefetch_errors_.find(page);
+  if (it == prefetch_errors_.end()) return Status::Ok();
+  Status st = it->second;
+  prefetch_errors_.erase(it);
+  prefetch_error_count_.store(prefetch_errors_.size(),
+                              std::memory_order_release);
+  return st;
 }
 
 void BufferPool::WakeCleaner() {
@@ -178,7 +225,17 @@ Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
     // A prefetch (or a write-back) may have this page in transit: wait it
     // out and re-probe — a completed prefetch installs the mapping, so
     // what was a miss becomes a hit instead of a duplicate device read.
-    if (in_transit_.WaitUntilClear(page)) continue;
+    if (in_transit_.WaitUntilClear(page)) {
+      // If what we waited out was a detached read that FAILED, surface
+      // its error here instead of silently re-reading: the waiter is the
+      // I/O's real customer, and the retry budget was already spent on
+      // the worker side.
+      if (prefetch_error_count_.load(std::memory_order_acquire) != 0) {
+        Status pe = TakePrefetchError(page);
+        if (!pe.ok()) return pe;
+      }
+      continue;
+    }
     // Miss: bring the page in ourselves. HandleMiss publishes the mapping
     // *before* the disk read and returns with the frame latched exclusive,
     // so concurrent fixers of the same page queue on the latch instead of
@@ -258,7 +315,26 @@ Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
     // to whoever inserts the successor mapping) must land before the
     // volume image is current.
     in_transit_.WaitUntilClear(page);
-    Status st = volume_->ReadPage(page, FrameData(frame));
+    io::RetryPolicy policy{options_.io.max_retries,
+                           options_.io.retry_initial_backoff_ns,
+                           options_.io.retry_max_backoff_ns};
+    Status st = io::RetryTransient(
+        volume_, policy,
+        [&] { return volume_->ReadPage(page, FrameData(frame)); });
+    if (st.ok() && !page::VerifyPageChecksum(FrameData(frame))) {
+      // The device delivered the bytes but they are not the bytes that
+      // were written (bit rot, torn write): rebuild from the archive +
+      // log when a repairer is wired, else fail loudly as Corruption —
+      // never hand out a damaged image. Safe to repair in place: we hold
+      // the published mapping and the exclusive latch.
+      st = TryRepairPage(page, FrameData(frame));
+    }
+    if (st.ok() &&
+        prefetch_error_count_.load(std::memory_order_acquire) != 0) {
+      // A stale recorded prefetch failure for this page is obsolete now
+      // that a fresh read succeeded; drop it so it can't fail a future fix.
+      (void)TakePrefetchError(page);
+    }
     if (!st.ok()) {
       table_->EraseIf(page, [](int) { return true; });
       f.page.store(kInvalidPageNum, std::memory_order_relaxed);
@@ -360,7 +436,19 @@ Status BufferPool::WriteBack(int frame, PageNum page) {
     Lsn page_lsn{page::HeaderOf(FrameData(frame))->page_lsn};
     SHOREMT_RETURN_NOT_OK(log_flush_(page_lsn));  // WAL: log first.
   }
-  return volume_->WritePage(page, FrameData(frame));
+  // Stamp the image's checksum immediately before it leaves the pool (the
+  // caller guarantees a stable image: eviction owns the claimed frame,
+  // FlushPage holds the shared latch; the checksum word itself is written
+  // through an atomic so concurrent stampers of an identical image are
+  // benign).
+  page::StampPageChecksum(FrameData(frame));
+  // Route through the async spine like every other write-back so the one
+  // retry/accounting/fault-injection choke point covers synchronous
+  // evictions too; a one-page ring drain is the synchronous submit.
+  auto ring = io_->CreateRing();
+  ring->QueueWrite(page, FrameData(frame));
+  ring->Submit();
+  return ring->Drain();
 }
 
 Status BufferPool::FlushPage(PageNum page) {
@@ -510,6 +598,9 @@ Status BufferPool::CleanerPassImpl(size_t max_pages, size_t partition,
   for (const Gathered& g : batch) {
     PageNum page = g.page;
     int frame = g.frame;
+    // Fresh checksum over the image the device will see (stable under the
+    // shared latch held since the gather).
+    page::StampPageChecksum(FrameData(frame));
     ring->QueueWrite(page, FrameData(frame),
                      [this, page, frame, &writeback_hook](PageNum, Status st) {
                        Frame& pf = frames_[frame];
@@ -596,6 +687,30 @@ size_t BufferPool::PrefetchPages(std::span<const PageNum> pages) {
 void BufferPool::FinishPrefetch(int frame, PageNum page, Status st) {
   Frame& f = frames_[frame];
   bool installed = false;
+  if (st.ok() && !page::VerifyPageChecksum(FrameData(frame))) {
+    // Damaged image off the device. Repair must not run here — worker
+    // callbacks may not block on more I/O — so just refuse to install:
+    // the fixer's synchronous miss path re-reads, re-detects, and runs
+    // the repairer in thread context. Count the detection, not an error.
+    stats_.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    st = Status::Corruption("prefetched page failed checksum");
+    // Deliberately NOT recorded in prefetch_errors_: the sync path can
+    // still repair this page, so no waiter should fail on it.
+  } else if (!st.ok()) {
+    // A real device error that survived the worker-side retry budget:
+    // park it for the fixer that waited on the in-transit entry, so the
+    // failure reaches the thread that wanted the page instead of being
+    // silently replayed as a second device read. Bounded map — under
+    // pathological storms the oldest errors just age out via consumption
+    // or the cap, and the fix falls back to its own read.
+    stats_.prefetch_errors.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(prefetch_err_mutex_);
+    if (prefetch_errors_.size() < 128) {
+      prefetch_errors_.emplace(page, st);
+      prefetch_error_count_.store(prefetch_errors_.size(),
+                                  std::memory_order_release);
+    }
+  }
   if (st.ok()) {
     // Publish unpinned and unlatched: the image is complete (this runs
     // after the device call), so the first fixer pins an ordinary hit.
@@ -616,6 +731,56 @@ void BufferPool::FinishPrefetch(int frame, PageNum page, Status st) {
   // Clear the claim LAST: waiters re-probe and now find the mapping.
   in_transit_.Remove(page);
   prefetch_inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Status BufferPool::ScrubPass(size_t max_pages) {
+  if (max_pages == 0) return Status::Ok();
+  PageNum end = volume_->NumPages();
+  if (end <= 1) return Status::Ok();
+  // Private aligned scratch: the scrubber never reads into pool frames
+  // (a cold page must stay cold — verifying it should not evict anything)
+  // and FileVolume may be running O_DIRECT.
+  std::unique_ptr<uint8_t[], FreeDeleter> scratch(
+      static_cast<uint8_t*>(std::aligned_alloc(4096, kPageSize)));
+  io::RetryPolicy policy{options_.io.max_retries,
+                         options_.io.retry_initial_backoff_ns,
+                         options_.io.retry_max_backoff_ns};
+  Status first_error = Status::Ok();
+  size_t verified = 0;
+  PageNum cursor = scrub_cursor_.load(std::memory_order_relaxed);
+  // `max_pages` bounds the device reads per pass — together with the
+  // daemon interval that is the scrubber's I/O rate limit. One lap of the
+  // volume bounds the walk when everything is resident or in transit.
+  for (PageNum steps = 0; steps < end && verified < max_pages; ++steps) {
+    if (cursor == kInvalidPageNum || cursor >= end) cursor = 1;
+    PageNum page = cursor++;
+    // Resident pages are skipped: their media image is refreshed (with a
+    // new checksum) by the next write-back, and the frame copy is
+    // authoritative anyway.
+    if (table_->FindOptimistic(page) >= 0) continue;
+    // Claim the device image so a concurrent fix/prefetch/eviction of the
+    // same page waits instead of racing the scrub read (same protocol as
+    // prefetch). Busy pages are simply skipped this lap.
+    if (!in_transit_.TryAdd(page)) continue;
+    if (table_->FindOptimistic(page) >= 0) {
+      in_transit_.Remove(page);  // Became resident before the claim.
+      continue;
+    }
+    Status st = io::RetryTransient(volume_, policy, [&] {
+      return volume_->ReadPage(page, scratch.get());
+    });
+    if (st.ok()) {
+      ++verified;
+      stats_.scrub_pages.fetch_add(1, std::memory_order_relaxed);
+      if (!page::VerifyPageChecksum(scratch.get())) {
+        st = TryRepairPage(page, scratch.get());
+      }
+    }
+    if (!st.ok() && first_error.ok()) first_error = st;
+    in_transit_.Remove(page);
+  }
+  scrub_cursor_.store(cursor, std::memory_order_relaxed);
+  return first_error;
 }
 
 void BufferPool::UnfixInternal(int frame, sync::LatchMode mode) {

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "buffer/dirty_page_table.h"
@@ -62,7 +63,18 @@ struct BufferPoolOptions {
   /// Max detached prefetch reads in flight pool-wide; PrefetchPages drops
   /// (never blocks) beyond this. 0 disables prefetching.
   size_t prefetch_window = 64;
-  /// Async I/O spine tuning (workers, slots, ring window, coalescing cap).
+  /// Background checksum scrubber: a PeriodicDaemon that walks COLD
+  /// (non-resident) pages verifying their on-media checksums at a bounded
+  /// rate — scrub_pages_per_pass device reads every scrub_interval_us.
+  /// Failures are repaired through the installed page repairer when one
+  /// exists, otherwise only counted (the damage surfaces as Corruption on
+  /// the next read).
+  bool enable_scrubber = false;
+  uint64_t scrub_interval_us = 10'000;
+  size_t scrub_pages_per_pass = 32;
+  /// Async I/O spine tuning (workers, slots, ring window, coalescing cap,
+  /// transient-error retry budget — also used by the pool's synchronous
+  /// miss-path reads and write-backs).
   io::IoSchedulerOptions io;
 };
 
@@ -80,6 +92,10 @@ struct BufferPoolStats {
   std::atomic<uint64_t> prefetch_issued{0};     ///< Detached reads submitted.
   std::atomic<uint64_t> prefetch_dropped{0};    ///< Shed by window/slots/frames.
   std::atomic<uint64_t> prefetch_installed{0};  ///< Completed into the table.
+  std::atomic<uint64_t> prefetch_errors{0};     ///< Detached reads that failed.
+  std::atomic<uint64_t> checksum_failures{0};   ///< Images failing page CRC.
+  std::atomic<uint64_t> pages_repaired{0};      ///< Rebuilt via the repairer.
+  std::atomic<uint64_t> scrub_pages{0};         ///< Pages the scrubber verified.
 };
 
 class BufferPool;
@@ -226,6 +242,25 @@ class BufferPool {
   /// LogStats::cleaner_writebacks. Synchronized like SetLsnProvider.
   void SetCleanerWritebackHook(std::function<void()> fn);
 
+  /// Media auto-repair source. When a page image fails its checksum on
+  /// read-in (miss path or scrubber), the pool calls `fn(page, img)`; the
+  /// repairer must rebuild the full kPageSize image into `img`, stamp its
+  /// checksum, AND durably rewrite the page on the volume (so the media
+  /// copy is healed even if the frame is evicted clean). Returns Ok only
+  /// on a complete repair. The storage manager wires this to its
+  /// archive+log page rebuilder. Synchronized like SetLsnProvider.
+  using PageRepairFn = std::function<Status(PageNum, uint8_t*)>;
+  void SetPageRepairer(PageRepairFn fn);
+
+  /// One scrubber round: verifies the on-media checksums of up to
+  /// `max_pages` COLD pages starting at the persistent scrub cursor
+  /// (resident pages are skipped — their media copy is rewritten with a
+  /// fresh checksum at next write-back anyway). Checksum failures are
+  /// repaired through the page repairer when installed. The background
+  /// daemon calls this each tick; tests call it directly. Returns the
+  /// first repair failure, if any.
+  Status ScrubPass(size_t max_pages);
+
   const BufferPoolStats& stats() const { return stats_; }
   size_t frame_count() const { return frames_.size(); }
   io::Volume* volume() { return volume_; }
@@ -260,6 +295,13 @@ class BufferPool {
   /// in-transit entry last.
   void FinishPrefetch(int frame, PageNum page, Status st);
   void UnfixInternal(int frame, sync::LatchMode mode);
+  /// Runs the installed repairer (if any) against a checksum-failed image
+  /// of `page` held in `img`. Counts stats; Corruption when unrepairable.
+  Status TryRepairPage(PageNum page, uint8_t* img);
+  /// Removes and returns the recorded prefetch-completion error for
+  /// `page` (Ok when none). FixPage consumes this after waiting out an
+  /// in-transit entry so a failed detached read surfaces to the waiter.
+  Status TakePrefetchError(PageNum page);
   /// MarkDirty's clean→dirty transition: registers the page in the
   /// dirty-page table and fires the dirty-ratio cleaner trigger.
   void NoteFirstDirty(PageNum page, uint64_t rec_lsn);
@@ -293,7 +335,18 @@ class BufferPool {
   /// Guarded by hooks_mutex_: set by the owner after construction,
   /// while the cleaner daemon may already be running.
   std::function<void()> cleaner_writeback_hook_;
-  std::mutex hooks_mutex_;  ///< Guards lsn_provider_ + writeback hook.
+  PageRepairFn page_repairer_;
+  std::mutex hooks_mutex_;  ///< Guards lsn_provider_ + writeback/repair hooks.
+  /// Failed detached-read completions, keyed by page, consumed by the
+  /// first fixer that waited on the page's in-transit entry (satisfying
+  /// the invariant that an I/O error never vanishes between the worker
+  /// callback and the thread that wanted the page). Bounded; guarded by
+  /// prefetch_err_mutex_, with a relaxed size mirror for the fast path.
+  std::mutex prefetch_err_mutex_;
+  std::unordered_map<PageNum, Status> prefetch_errors_;
+  std::atomic<size_t> prefetch_error_count_{0};
+  /// Next page the scrubber will examine (wraps at the volume end).
+  std::atomic<PageNum> scrub_cursor_{1};
   std::atomic<uint64_t> cleaner_lsn_{0};
   /// Detached prefetch reads currently in flight (bounds PrefetchPages).
   std::atomic<size_t> prefetch_inflight_{0};
@@ -305,6 +358,9 @@ class BufferPool {
   /// Background cleaners (shared cv-daemon scaffold): interval tick +
   /// WakeCleaner kicks, one incremental partitioned pass per wake-up.
   std::vector<std::unique_ptr<sync::PeriodicDaemon>> cleaner_daemons_;
+  /// Background checksum scrubber; declared after io_ like the cleaners
+  /// (stopped in the destructor before any member teardown).
+  std::unique_ptr<sync::PeriodicDaemon> scrub_daemon_;
 };
 
 }  // namespace shoremt::buffer

@@ -1,0 +1,27 @@
+#ifndef SHOREMT_COMMON_CRC32C_H_
+#define SHOREMT_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shoremt {
+
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used for page images, log records, and archived
+/// segments. Software slice-by-one implementation: integrity checks
+/// here ride the I/O path, whose device latency dwarfs the table
+/// lookup; no SSE4.2 dependency keeps the build portable.
+///
+/// Crc32c(data, n) is the common whole-buffer form. The Extend form
+/// chains partial buffers: Extend(Extend(0, a, na), b, nb) ==
+/// Crc32c(concat(a, b)) — the page checksum uses it to skip the
+/// in-header checksum word itself.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace shoremt
+
+#endif  // SHOREMT_COMMON_CRC32C_H_

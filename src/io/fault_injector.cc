@@ -1,0 +1,192 @@
+#include "io/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace shoremt::io {
+
+FaultInjector::FaultInjector(FaultOptions options)
+    : options_(options),
+      rng_state_(options.seed ? options.seed : 0x9E3779B97F4A7C15ull) {}
+
+uint64_t FaultInjector::NextU64Locked() {
+  // xorshift64* — tiny, seedable, good enough for fault schedules.
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double FaultInjector::NextUnitLocked() {
+  return static_cast<double>(NextU64Locked() >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::CrashPointHitLocked(const char* name) {
+  auto it = crash_points_.find(name);
+  if (it == crash_points_.end()) return false;
+  if (it->second > 1) {
+    --it->second;
+    return false;
+  }
+  crash_points_.erase(it);
+  crashed_ = true;
+  ++crashes_;
+  return true;
+}
+
+void FaultInjector::MaybeLatencyLocked() {
+  if (options_.latency_rate <= 0.0 || options_.latency_ns == 0) return;
+  if (NextUnitLocked() >= options_.latency_rate) return;
+  // Sleep with the lock held is fine here: the injector IS the slow
+  // device, and serializing spikes keeps the schedule deterministic.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(options_.latency_ns));
+}
+
+Status FaultInjector::PreRead(PageNum page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return Status::IOError("injected crash: device gone");
+  if (CrashPointHitLocked("volume.read")) {
+    return Status::IOError("injected crash at volume.read");
+  }
+  MaybeLatencyLocked();
+  auto it = pending_failures_.find(page);
+  if (it != pending_failures_.end()) {
+    if (it->second == 0) {  // Sticky (permanent) failure for this page.
+      ++read_errors_;
+      return Status::IOError("injected EIO (permanent) reading page " +
+                             std::to_string(page));
+    }
+    if (--it->second == 0) pending_failures_.erase(it);
+    ++read_errors_;
+    return Status::IOError("injected EIO reading page " +
+                           std::to_string(page));
+  }
+  if (options_.read_error_rate > 0.0 &&
+      NextUnitLocked() < options_.read_error_rate) {
+    if (options_.transient_attempts > 1) {
+      pending_failures_[page] = options_.transient_attempts - 1;
+    } else if (options_.transient_attempts == 0) {
+      pending_failures_[page] = 0;  // Sticky.
+    }
+    ++read_errors_;
+    return Status::IOError("injected EIO reading page " +
+                           std::to_string(page));
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::PostRead(PageNum page, uint8_t* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (len == 0 || options_.bit_flip_rate <= 0.0) return;
+  if (NextUnitLocked() >= options_.bit_flip_rate) return;
+  uint64_t r = NextU64Locked();
+  data[(r >> 3) % len] ^= static_cast<uint8_t>(1u << (r & 7));
+  ++bit_flips_;
+  (void)page;
+}
+
+Status FaultInjector::PreWrite(PageNum page, size_t len, size_t* torn_bytes) {
+  *torn_bytes = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return Status::IOError("injected crash: device gone");
+  if (CrashPointHitLocked("volume.write")) {
+    if (options_.crash_tears_writes && len > options_.sector_bytes) {
+      size_t sectors = len / options_.sector_bytes;
+      *torn_bytes = (NextU64Locked() % sectors) * options_.sector_bytes;
+      if (*torn_bytes > 0) ++torn_writes_;
+    }
+    return Status::IOError("injected crash at volume.write");
+  }
+  MaybeLatencyLocked();
+  auto it = pending_failures_.find(page);
+  bool fail = false;
+  if (it != pending_failures_.end()) {
+    if (it->second == 0) {
+      fail = true;  // Sticky.
+    } else {
+      if (--it->second == 0) pending_failures_.erase(it);
+      fail = true;
+    }
+  } else if (options_.write_error_rate > 0.0 &&
+             NextUnitLocked() < options_.write_error_rate) {
+    if (options_.transient_attempts > 1) {
+      pending_failures_[page] = options_.transient_attempts - 1;
+    } else if (options_.transient_attempts == 0) {
+      pending_failures_[page] = 0;
+    }
+    fail = true;
+  }
+  if (!fail) return Status::Ok();
+  ++write_errors_;
+  if (options_.torn_write_rate > 0.0 &&
+      NextUnitLocked() < options_.torn_write_rate &&
+      len > options_.sector_bytes) {
+    size_t sectors = len / options_.sector_bytes;
+    *torn_bytes = (NextU64Locked() % sectors) * options_.sector_bytes;
+    if (*torn_bytes > 0) ++torn_writes_;
+  }
+  return Status::IOError("injected EIO writing page " + std::to_string(page));
+}
+
+Status FaultInjector::PreAppend(size_t len, size_t* torn_bytes) {
+  *torn_bytes = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return Status::IOError("injected crash: device gone");
+  if (CrashPointHitLocked("log.append")) {
+    if (options_.crash_tears_writes && len > 1) {
+      *torn_bytes = NextU64Locked() % len;  // Byte-granular torn log tail.
+      if (*torn_bytes > 0) ++torn_writes_;
+    }
+    return Status::IOError("injected crash at log.append");
+  }
+  MaybeLatencyLocked();
+  return Status::Ok();
+}
+
+void FaultInjector::ArmCrashPoint(const std::string& name,
+                                  uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_points_[name] = countdown == 0 ? 1 : countdown;
+}
+
+void FaultInjector::ForceCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+  ++crashes_;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+  crash_points_.clear();
+}
+
+uint64_t FaultInjector::injected_read_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return read_errors_;
+}
+uint64_t FaultInjector::injected_write_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_errors_;
+}
+uint64_t FaultInjector::injected_torn_writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return torn_writes_;
+}
+uint64_t FaultInjector::injected_bit_flips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bit_flips_;
+}
+uint64_t FaultInjector::injected_crashes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashes_;
+}
+
+}  // namespace shoremt::io

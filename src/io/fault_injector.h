@@ -1,0 +1,146 @@
+#ifndef SHOREMT_IO_FAULT_INJECTOR_H_
+#define SHOREMT_IO_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace shoremt::io {
+
+/// Configuration for a FaultInjector. All rates are probabilities in
+/// [0, 1] evaluated per operation from the seeded RNG, so a given
+/// (seed, operation sequence) pair replays the identical fault schedule.
+struct FaultOptions {
+  uint64_t seed = 1;
+
+  /// Probability that a page read / page write is selected to fail with
+  /// an injected EIO. A selected *page* fails `transient_attempts` times
+  /// (tracked per page number) and then succeeds, which is what a
+  /// bounded-retry policy must survive; 0 attempts makes the failure
+  /// sticky for that page (permanent media error).
+  double read_error_rate = 0.0;
+  double write_error_rate = 0.0;
+  uint32_t transient_attempts = 1;
+
+  /// Probability that a *failing* page write is torn: a sector-aligned
+  /// prefix of the page reaches the device before the error surfaces
+  /// (the classic partial-write crash signature).
+  double torn_write_rate = 0.0;
+
+  /// Probability that a successful page read has one bit flipped in the
+  /// returned image (silent media corruption — only a checksum sees it).
+  double bit_flip_rate = 0.0;
+
+  /// Probability of an injected latency spike, and its duration.
+  double latency_rate = 0.0;
+  uint64_t latency_ns = 0;
+
+  /// When a crash point fires during a write/append, also tear that
+  /// in-flight operation (persist a random prefix) before the sticky
+  /// crashed state begins — crashes and torn writes travel together.
+  bool crash_tears_writes = true;
+
+  /// Sector size used for torn-write prefixes.
+  size_t sector_bytes = 512;
+};
+
+/// A deterministic, seeded fault-injection layer installed into the
+/// volumes (page I/O) and the log storage (append path). Two-phase
+/// hooks: Pre* decides an operation's fate (error / torn prefix /
+/// latency spike) before the device op runs; PostRead mutates a
+/// successfully read image (bit flips). Named crash points turn the
+/// injector into a dead device: once a crash point fires (or
+/// ForceCrash() is called) every subsequent hooked operation fails
+/// until Reset(), modelling the window between a power cut and restart.
+///
+/// Thread safety: all state sits under one mutex. Determinism holds
+/// for a deterministic operation order (single-threaded tests); under
+/// concurrency the schedule is still seeded but interleaving-dependent.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- volume hooks --------------------------------------------------------
+
+  /// Fate of a page read. Ok = proceed with the device read.
+  Status PreRead(PageNum page);
+  /// Applied to a successfully read page image (may flip one bit).
+  void PostRead(PageNum page, uint8_t* data, size_t len);
+  /// Fate of a page write. On a torn write, `*torn_bytes` is set to the
+  /// sector-aligned prefix length (< len) the volume must persist before
+  /// returning the error; 0 means nothing reaches the device.
+  Status PreWrite(PageNum page, size_t len, size_t* torn_bytes);
+
+  // --- log hooks -----------------------------------------------------------
+
+  /// Fate of a log append of `len` bytes; torn semantics as PreWrite.
+  Status PreAppend(size_t len, size_t* torn_bytes);
+
+  // --- crash points --------------------------------------------------------
+
+  /// Arms `name` ("volume.read", "volume.write", "log.append"): the
+  /// `countdown`-th subsequent hit crashes the injector. Re-arming
+  /// replaces any previous countdown for that name.
+  void ArmCrashPoint(const std::string& name, uint64_t countdown);
+  /// Immediately enters the crashed state.
+  void ForceCrash();
+  bool crashed() const;
+  /// Leaves the crashed state and disarms every crash point; rates,
+  /// per-page transient bookkeeping, and the RNG stream are kept so a
+  /// schedule stays deterministic across a recover cycle.
+  void Reset();
+
+  // --- counters (test assertions) ------------------------------------------
+
+  uint64_t injected_read_errors() const;
+  uint64_t injected_write_errors() const;
+  uint64_t injected_torn_writes() const;
+  uint64_t injected_bit_flips() const;
+  uint64_t injected_crashes() const;
+
+ private:
+  // xorshift64*; inline so the schedule depends only on seed + call order.
+  uint64_t NextU64Locked();
+  double NextUnitLocked();  // uniform [0, 1)
+  bool CrashPointHitLocked(const char* name);
+  void MaybeLatencyLocked();
+
+  mutable std::mutex mutex_;
+  FaultOptions options_;
+  uint64_t rng_state_;
+  bool crashed_ = false;
+  // Remaining injected failures per page (transient error bookkeeping).
+  std::unordered_map<uint64_t, uint32_t> pending_failures_;
+  std::unordered_map<std::string, uint64_t> crash_points_;
+  uint64_t read_errors_ = 0;
+  uint64_t write_errors_ = 0;
+  uint64_t torn_writes_ = 0;
+  uint64_t bit_flips_ = 0;
+  uint64_t crashes_ = 0;
+};
+
+/// Transient-vs-permanent classification for the retry policy: an
+/// injected/OS EIO, a busy resource, or a timeout is worth retrying
+/// with backoff; corruption and caller errors never are.
+inline bool IsTransientIoError(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kBusy:
+    case StatusCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace shoremt::io
+
+#endif  // SHOREMT_IO_FAULT_INJECTOR_H_

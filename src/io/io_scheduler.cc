@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "io/retry.h"
+
 namespace shoremt::io {
 
 // ----------------------------------------------------------------- IoRing --
@@ -198,12 +200,33 @@ void IoScheduler::ExecuteRun(const Run& run) {
   for (size_t i = 0; i < n; ++i) {
     bufs[i] = static_cast<uint8_t*>(slots_[run.ids[i]].buf);
   }
-  Status st =
-      run.kind == IoOpKind::kRead
-          ? volume_->ReadPagesV(run.first, bufs.data(), n)
-          : volume_->WritePagesV(
-                run.first,
-                const_cast<const uint8_t* const*>(bufs.data()), n);
+  // Transient device errors (EIO, busy, timeout) are retried here with
+  // bounded backoff — retrying the whole run is safe because page reads
+  // and writes are idempotent. Only an exhausted budget (or a permanent
+  // error like Corruption) reaches the requests' callbacks.
+  RetryPolicy policy{options_.max_retries, options_.retry_initial_backoff_ns,
+                     options_.retry_max_backoff_ns};
+  uint32_t retries = 0;
+  Status st = RetryTransient(
+      volume_, policy,
+      [&] {
+        return run.kind == IoOpKind::kRead
+                   ? volume_->ReadPagesV(run.first, bufs.data(), n)
+                   : volume_->WritePagesV(
+                         run.first,
+                         const_cast<const uint8_t* const*>(bufs.data()), n);
+      },
+      &retries);
+  if (retries > 0) {
+    stats_.retries.fetch_add(retries, std::memory_order_relaxed);
+    uint64_t slept = 0;
+    uint64_t b = policy.initial_backoff_ns;
+    for (uint32_t i = 0; i < retries; ++i) {
+      slept += b;
+      b = std::min<uint64_t>(b * 2, policy.max_backoff_ns);
+    }
+    stats_.retry_backoff_ns.fetch_add(slept, std::memory_order_relaxed);
+  }
   stats_.device_calls.fetch_add(1, std::memory_order_relaxed);
   if (n > 1) {
     stats_.batched_calls.fetch_add(1, std::memory_order_relaxed);

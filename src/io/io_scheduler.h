@@ -33,6 +33,12 @@ struct IoSchedulerOptions {
   /// Coalescing cap: adjacent-page runs longer than this are split into
   /// multiple device calls.
   uint32_t max_run_pages = 16;
+  /// Transient-error retry budget per device run (io::RetryPolicy):
+  /// workers re-execute a failed run up to `max_retries` times with
+  /// doubling backoff before the error goes sticky to the requests.
+  uint32_t max_retries = 4;
+  uint64_t retry_initial_backoff_ns = 100'000;
+  uint64_t retry_max_backoff_ns = 10'000'000;
 };
 
 struct IoSchedulerStats {
@@ -43,6 +49,8 @@ struct IoSchedulerStats {
   std::atomic<uint64_t> coalesced_pages{0};     ///< Pages beyond each run's first.
   std::atomic<uint64_t> backpressure_waits{0};  ///< Blocked slot/window acquisitions.
   std::atomic<uint64_t> errors{0};              ///< Requests completed with !ok.
+  std::atomic<uint64_t> retries{0};             ///< Transient-error re-executions.
+  std::atomic<uint64_t> retry_backoff_ns{0};    ///< Backoff time slept by workers.
 };
 
 enum class IoOpKind : uint8_t { kRead, kWrite };

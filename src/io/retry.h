@@ -1,0 +1,49 @@
+#ifndef SHOREMT_IO_RETRY_H_
+#define SHOREMT_IO_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+#include "io/fault_injector.h"
+#include "io/volume.h"
+
+namespace shoremt::io {
+
+/// Bounded-exponential-backoff retry policy for transient I/O errors.
+/// Shared by every device-call site (scheduler workers, the miss-path
+/// synchronous read, eviction write-back) so one knob governs them all.
+struct RetryPolicy {
+  uint32_t max_retries = 4;
+  uint64_t initial_backoff_ns = 100'000;  // 100 µs, doubling per attempt.
+  uint64_t max_backoff_ns = 10'000'000;   // 10 ms cap.
+};
+
+/// Runs `op` (returning Status); while the result classifies as transient
+/// (IsTransientIoError) and the budget lasts, sleeps the backoff and
+/// retries. Permanent errors (Corruption et al.) return immediately; the
+/// error goes sticky only once the budget is exhausted. Retries and the
+/// backoff time slept are charged to `volume`'s IoStats (null = uncounted).
+template <typename Op>
+Status RetryTransient(Volume* volume, const RetryPolicy& policy, Op&& op,
+                      uint32_t* retries_out = nullptr) {
+  Status st = op();
+  uint64_t backoff = policy.initial_backoff_ns;
+  uint32_t attempts = 0;
+  while (!st.ok() && IsTransientIoError(st) &&
+         attempts < policy.max_retries) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    if (volume != nullptr) volume->CountRetry(backoff);
+    ++attempts;
+    st = op();
+    backoff = std::min<uint64_t>(backoff * 2, policy.max_backoff_ns);
+  }
+  if (retries_out != nullptr) *retries_out = attempts;
+  return st;
+}
+
+}  // namespace shoremt::io
+
+#endif  // SHOREMT_IO_RETRY_H_

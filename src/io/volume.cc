@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "io/fault_injector.h"
 
 namespace shoremt::io {
 
@@ -78,9 +79,12 @@ Status MemVolume::ReadPage(PageNum page, void* out) {
   if (page >= num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("read past end of volume");
   }
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr) SHOREMT_RETURN_NOT_OK(fi->PreRead(page));
   uint64_t t0 = NowNanos();
   InjectLatency(options_.read_latency_ns);
   std::memcpy(out, PagePtr(page), kPageSize);
+  if (fi != nullptr) fi->PostRead(page, static_cast<uint8_t*>(out), kPageSize);
   CountRead(NowNanos() - t0);
   return Status::Ok();
 }
@@ -88,6 +92,15 @@ Status MemVolume::ReadPage(PageNum page, void* out) {
 Status MemVolume::WritePage(PageNum page, const void* data) {
   if (page >= num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("write past end of volume");
+  }
+  if (FaultInjector* fi = fault_injector()) {
+    size_t torn = 0;
+    Status st = fi->PreWrite(page, kPageSize, &torn);
+    if (!st.ok()) {
+      // A torn write persists a sector-aligned prefix before the error.
+      if (torn > 0) std::memcpy(PagePtr(page), data, torn);
+      return st;
+    }
   }
   uint64_t t0 = NowNanos();
   InjectLatency(options_.write_latency_ns);
@@ -100,6 +113,10 @@ Status MemVolume::ReadPagesV(PageNum first, uint8_t* const* bufs, size_t n) {
   if (n == 0) return Status::Ok();
   if (first + n > num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("read past end of volume");
+  }
+  if (fault_injector() != nullptr) {
+    // Page-wise under injection so per-page fault schedules stay exact.
+    return Volume::ReadPagesV(first, bufs, n);
   }
   uint64_t t0 = NowNanos();
   InjectLatency(options_.read_latency_ns);  // One charge for the whole run.
@@ -115,6 +132,9 @@ Status MemVolume::WritePagesV(PageNum first, const uint8_t* const* bufs,
   if (n == 0) return Status::Ok();
   if (first + n > num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("write past end of volume");
+  }
+  if (fault_injector() != nullptr) {
+    return Volume::WritePagesV(first, bufs, n);
   }
   uint64_t t0 = NowNanos();
   InjectLatency(options_.write_latency_ns);  // One charge for the whole run.
@@ -180,6 +200,8 @@ Status FileVolume::ReadPage(PageNum page, void* out) {
   if (page >= num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("read past end of volume");
   }
+  FaultInjector* fi = fault_injector();
+  if (fi != nullptr) SHOREMT_RETURN_NOT_OK(fi->PreRead(page));
   uint64_t t0 = NowNanos();
   InjectLatency(options_.read_latency_ns);
   void* dst = out;
@@ -190,6 +212,7 @@ Status FileVolume::ReadPage(PageNum page, void* out) {
     return Status::IOError("pread returned " + std::to_string(n));
   }
   if (dst != out) std::memcpy(out, dst, kPageSize);
+  if (fi != nullptr) fi->PostRead(page, static_cast<uint8_t*>(out), kPageSize);
   CountRead(NowNanos() - t0);
   return Status::Ok();
 }
@@ -197,6 +220,16 @@ Status FileVolume::ReadPage(PageNum page, void* out) {
 Status FileVolume::WritePage(PageNum page, const void* data) {
   if (page >= num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("write past end of volume");
+  }
+  if (FaultInjector* fi = fault_injector()) {
+    size_t torn = 0;
+    Status st = fi->PreWrite(page, kPageSize, &torn);
+    if (!st.ok()) {
+      if (torn > 0) {
+        (void)!::pwrite(fd_, data, torn, static_cast<off_t>(page * kPageSize));
+      }
+      return st;
+    }
   }
   uint64_t t0 = NowNanos();
   InjectLatency(options_.write_latency_ns);
@@ -218,6 +251,9 @@ Status FileVolume::ReadPagesV(PageNum first, uint8_t* const* bufs, size_t n) {
   if (n == 0) return Status::Ok();
   if (first + n > num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("read past end of volume");
+  }
+  if (fault_injector() != nullptr) {
+    return Volume::ReadPagesV(first, bufs, n);
   }
   if (direct_active_) {
     for (size_t i = 0; i < n; ++i) {
@@ -258,6 +294,9 @@ Status FileVolume::WritePagesV(PageNum first, const uint8_t* const* bufs,
   if (n == 0) return Status::Ok();
   if (first + n > num_pages_.load(std::memory_order_acquire)) {
     return Status::IOError("write past end of volume");
+  }
+  if (fault_injector() != nullptr) {
+    return Volume::WritePagesV(first, bufs, n);
   }
   if (direct_active_) {
     for (size_t i = 0; i < n; ++i) {

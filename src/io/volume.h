@@ -13,6 +13,8 @@
 
 namespace shoremt::io {
 
+class FaultInjector;
+
 /// Per-volume I/O accounting. `reads`/`writes` count device calls (a
 /// vectored call is one); `pages_read`/`pages_written` count pages, so
 /// their difference against the call counts is the coalescing win;
@@ -27,6 +29,10 @@ struct IoStats {
   std::atomic<uint64_t> pages_written{0};
   std::atomic<uint64_t> batched_reads{0};
   std::atomic<uint64_t> batched_writes{0};
+  /// Transient-error retries against this volume and the total backoff
+  /// time they spent sleeping (io::RetryTransient policy).
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> retry_backoff_ns{0};
 };
 
 /// Device latency model. The paper's testbed put data on a disk array and
@@ -72,6 +78,23 @@ class Volume {
 
   const IoStats& stats() const { return stats_; }
 
+  /// Counts one transient-error retry (and the backoff slept before it)
+  /// against this volume. Public: the retry loops live in the scheduler
+  /// and buffer pool, not in the volume.
+  void CountRetry(uint64_t backoff_ns) {
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    stats_.retry_backoff_ns.fetch_add(backoff_ns, std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with nullptr) a fault injector consulted on
+  /// every read/write. The injector must outlive its installation.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
+
  protected:
   void CountRead(uint64_t ns, uint64_t pages = 1) {
     stats_.reads.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +114,7 @@ class Volume {
   }
 
   IoStats stats_;
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 /// Memory-backed volume: chunked so growth never moves existing pages,

@@ -121,7 +121,8 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) const {
       &bytes));
   uint32_t total_len;
   std::memcpy(&total_len, bytes.data(), 4);
-  if (total_len < kLogRecordHeaderSize || offset + total_len > durable) {
+  if (total_len < kLogRecordHeaderSize + kLogRecordCrcSize ||
+      offset + total_len > durable) {
     return Status::Corruption("bad log record length prefix");
   }
   if (total_len > bytes.size()) {
@@ -130,7 +131,11 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) const {
   }
   LogRecord rec;
   size_t consumed;
-  SHOREMT_RETURN_NOT_OK(DeserializeLogRecord(bytes, &rec, &consumed));
+  Status st = DeserializeLogRecord(bytes, &rec, &consumed);
+  if (!st.ok()) {
+    return Status::Corruption(st.message() + " at LSN " +
+                              std::to_string(lsn.value));
+  }
   rec.lsn = lsn;
   return rec;
 }
@@ -147,14 +152,30 @@ Status LogManager::Scan(
   SHOREMT_RETURN_NOT_OK(storage_->ReadFrom(offset, &live));
   size_t pos = 0;
   while (pos + 4 <= live.size()) {
+    uint32_t total_len;
+    std::memcpy(&total_len, live.data() + pos, 4);
+    if (total_len < kLogRecordHeaderSize + kLogRecordCrcSize) {
+      // A durable length prefix can never be this small: bytes below the
+      // durable end were written whole, so this is media damage, not a
+      // torn tail.
+      return Status::Corruption("bad log record length prefix at LSN " +
+                                std::to_string(offset + pos + 1));
+    }
+    if (pos + total_len > live.size()) {
+      // Torn tail: the record extends past the durable bytes — its append
+      // never completed, so the scan (and the log) ends here.
+      return Status::Ok();
+    }
     LogRecord rec;
     size_t consumed;
     std::span<const uint8_t> rest(live.data() + pos, live.size() - pos);
     Status st = DeserializeLogRecord(rest, &rec, &consumed);
     if (!st.ok()) {
-      // A torn tail (record length beyond durable bytes) ends the scan;
-      // anything unreadable here was not durably written.
-      return Status::Ok();
+      // Fully contained but failing its CRC / format check: surface it.
+      // Unlike a torn tail, these bytes WERE durably written and are now
+      // wrong — ending the scan silently would drop committed work.
+      return Status::Corruption(st.message() + " at LSN " +
+                                std::to_string(offset + pos + 1));
     }
     rec.lsn = Lsn{offset + pos + 1};
     SHOREMT_RETURN_NOT_OK(fn(rec, Lsn{offset + pos + consumed + 1}));

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
+
 namespace shoremt::log {
 
 namespace {
@@ -28,7 +30,7 @@ bool Get(std::span<const uint8_t> data, size_t* off, T* value) {
 }  // namespace
 
 size_t LogRecord::SerializedSize() const {
-  return kHeaderSize + before.size() + after.size();
+  return kHeaderSize + before.size() + after.size() + kLogRecordCrcSize;
 }
 
 void SerializeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out) {
@@ -47,6 +49,7 @@ void SerializeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out) {
   Put<uint32_t>(out, static_cast<uint32_t>(rec.after.size()));
   out->insert(out->end(), rec.before.begin(), rec.before.end());
   out->insert(out->end(), rec.after.begin(), rec.after.end());
+  Put<uint32_t>(out, Crc32c(out->data(), out->size()));
 }
 
 Status DeserializeLogRecord(std::span<const uint8_t> data, LogRecord* rec,
@@ -66,9 +69,16 @@ Status DeserializeLogRecord(std::span<const uint8_t> data, LogRecord* rec,
       !Get(data, &off, &after_len)) {
     return Status::Corruption("truncated log record header");
   }
-  if (total_len != kHeaderSize + before_len + after_len ||
+  if (total_len !=
+          kHeaderSize + before_len + after_len + kLogRecordCrcSize ||
       total_len > data.size()) {
     return Status::Corruption("log record length mismatch");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + total_len - kLogRecordCrcSize, 4);
+  uint32_t computed = Crc32c(data.data(), total_len - kLogRecordCrcSize);
+  if (stored_crc != computed) {
+    return Status::Corruption("log record CRC mismatch");
   }
   rec->type = static_cast<LogRecordType>(type);
   rec->txn = txn;

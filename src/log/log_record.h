@@ -42,6 +42,13 @@ enum class LogRecordType : uint8_t {
 inline constexpr size_t kLogRecordHeaderSize =
     4 + 1 + 1 + 2 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
 
+/// Trailing u32 CRC32C over the record's first total_len - 4 bytes
+/// (header + payloads, length prefix included), inside total_len. The
+/// length prefix says where a record ends; the CRC says whether what is
+/// there is the record that was appended — together they distinguish a
+/// torn tail from silent media corruption.
+inline constexpr size_t kLogRecordCrcSize = 4;
+
 /// In-memory form of a WAL record.
 struct LogRecord {
   LogRecordType type = LogRecordType::kNoop;

@@ -12,6 +12,10 @@
 #include "common/status.h"
 #include "common/types.h"
 
+namespace shoremt::io {
+class FaultInjector;
+}
+
 namespace shoremt::log {
 
 struct LogStats;
@@ -171,6 +175,14 @@ class LogStorage {
     fail_appends_.store(fail, std::memory_order_release);
   }
 
+  /// Installs (or clears) a fault injector consulted by AppendV: its
+  /// PreAppend hook can fail an append outright, tear it (store only a
+  /// byte prefix — the torn-log-tail crash signature recovery's scan must
+  /// stop at), or model a crashed device. Must outlive the installation.
+  void set_fault_injector(io::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   /// One fixed-capacity chunk of the byte stream. `base` is the absolute
   /// offset of bytes[0]; capacity is frozen at allocation time.
@@ -211,6 +223,7 @@ class LogStorage {
   std::atomic<uint64_t> segments_archived_{0};
   std::atomic<uint64_t> flush_calls_{0};
   std::atomic<bool> fail_appends_{false};
+  std::atomic<io::FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace shoremt::log

@@ -53,9 +53,15 @@ enum class Metric : uint32_t {
   kIoCoalescedPages,   ///< Pages that rode a call beyond its first.
   kIoPrefetchIssued,   ///< Detached readahead reads submitted.
   kIoPrefetchDropped,  ///< Readahead hints shed (window/slots/frames).
+  // --- integrity (checksums, retry, scrub) ----------------------------------
+  kIoRetries,          ///< Transient-error retries across all I/O paths.
+  kIoRetryBackoffNs,   ///< Nanoseconds slept in retry backoff.
+  kChecksumFailures,   ///< Page/log images that failed CRC verification.
+  kPagesRepaired,      ///< Checksum-failed pages rebuilt from archive+log.
+  kScrubPages,         ///< Pages verified by the background scrubber.
 };
 
-inline constexpr size_t kMetricCount = 32;
+inline constexpr size_t kMetricCount = 37;
 
 /// Gauges report a level, not a monotone count: the profiling feed emits
 /// their raw value each tick instead of a delta, and keeps no high-water
@@ -98,6 +104,11 @@ constexpr std::string_view MetricName(Metric m) {
     case Metric::kIoCoalescedPages: return "io_coalesced_pages";
     case Metric::kIoPrefetchIssued: return "io_prefetch_issued";
     case Metric::kIoPrefetchDropped: return "io_prefetch_dropped";
+    case Metric::kIoRetries: return "io_retries";
+    case Metric::kIoRetryBackoffNs: return "io_retry_backoff_ns";
+    case Metric::kChecksumFailures: return "checksum_failures";
+    case Metric::kPagesRepaired: return "pages_repaired";
+    case Metric::kScrubPages: return "scrub_pages";
   }
   return "?";
 }

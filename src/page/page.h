@@ -1,9 +1,12 @@
 #ifndef SHOREMT_PAGE_PAGE_H_
 #define SHOREMT_PAGE_PAGE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/types.h"
 
 namespace shoremt::page {
@@ -32,10 +35,14 @@ struct PageHeader {
   uint64_t page_lsn;       ///< LSN of the last update applied (WAL rule).
   PageNum next_page;       ///< Intra-store page chain (heap file order).
   PageNum prev_page;       ///< Back link of the chain.
+  uint32_t checksum;       ///< CRC32C of the whole image (this word as 0).
+  uint32_t checksum_pad;   ///< Keeps the payload 8-byte aligned.
 };
 
 inline constexpr uint32_t kPageMagic = 0x53484f52;  // "SHOR"
-static_assert(sizeof(PageHeader) == 48, "header layout is part of the format");
+static_assert(sizeof(PageHeader) == 56, "header layout is part of the format");
+static_assert(offsetof(PageHeader, checksum) % alignof(uint32_t) == 0,
+              "checksum word must be atomically addressable");
 
 /// Usable bytes after the header.
 inline constexpr size_t kPagePayload = kPageSize - sizeof(PageHeader);
@@ -69,6 +76,45 @@ inline void FormatPage(void* data, PageNum page_num, StoreId store,
 inline bool PageLooksValid(const void* data, PageNum expected) {
   const PageHeader* h = HeaderOf(data);
   return h->magic == kPageMagic && h->page_num == expected;
+}
+
+/// CRC32C over the full page image with the in-header checksum word
+/// treated as zero (the word is skipped, never read, so a concurrent
+/// stamp of the same image cannot perturb the computation).
+inline uint32_t ComputePageChecksum(const void* data) {
+  constexpr size_t kOff = offsetof(PageHeader, checksum);
+  static constexpr uint8_t kZeros[4] = {0, 0, 0, 0};
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = Crc32cExtend(0, p, kOff);
+  crc = Crc32cExtend(crc, kZeros, 4);
+  return Crc32cExtend(crc, p + kOff + 4, kPageSize - kOff - 4);
+}
+
+/// Stamps the image's checksum in place. Callers hold at least a shared
+/// latch, so two stampers (cleaner + eviction) may race writing the SAME
+/// value; the atomic_ref store keeps that benign race sanitizer-clean.
+inline void StampPageChecksum(void* data) {
+  uint32_t crc = ComputePageChecksum(data);
+  std::atomic_ref<uint32_t>(HeaderOf(data)->checksum)
+      .store(crc, std::memory_order_relaxed);
+}
+
+/// True when the stored checksum matches the image. A stored value of 0
+/// means "unstamped" and passes vacuously: never-written pages (all
+/// zeroes from Extend), images written to the volume directly (tests,
+/// tools), and pre-checksum volumes all carry 0 — checksums protect only
+/// images that went through the pool's write-back stamp. A stamped page
+/// is protected everywhere: a bit flip anywhere outside the checksum
+/// word (header, magic, payload) fails the compare. The 2^-32 case of a
+/// real image whose CRC computes to 0 merely degrades that page to
+/// unverified.
+inline bool VerifyPageChecksum(const void* data) {
+  const PageHeader* h = HeaderOf(data);
+  uint32_t stored = std::atomic_ref<uint32_t>(
+                        const_cast<uint32_t&>(h->checksum))
+                        .load(std::memory_order_relaxed);
+  if (stored == 0) return true;
+  return stored == ComputePageChecksum(data);
 }
 
 }  // namespace shoremt::page

@@ -145,7 +145,27 @@ Status SlottedPage::Delete(uint16_t slot) {
   if (slot >= SlotCount()) return Status::NotFound("slot out of range");
   Slot* s = SlotAt(slot);
   if (s->offset == 0) return Status::NotFound("slot already deleted");
-  s->offset = 0;  // Length is kept: it measures reclaimable dead space.
+  PageHeader* h = header();
+  if (static_cast<uint32_t>(s->offset) + s->length == h->free_begin) {
+    // LIFO reclamation: the record sits at the top of the heap, so its
+    // bytes return to the contiguous pool immediately. This makes undo's
+    // delete-of-the-latest-insert a byte-exact reversal — without it, an
+    // aborted transaction leaks its slot entries and dead bytes until
+    // compaction, and rolling back a delete on a near-full page can fail
+    // with OutOfSpace (an abort must never fail for lack of space it
+    // itself consumed).
+    h->free_begin = s->offset;
+    s->length = 0;
+  }
+  s->offset = 0;  // A surviving length measures reclaimable dead space.
+  // Trailing tombstones that carry no dead bytes release their directory
+  // entries too; InsertAt re-materializes gaps on demand, so slot numbers
+  // handed out earlier stay addressable.
+  while (h->slot_count > 0) {
+    Slot* last = SlotAt(h->slot_count - 1);
+    if (last->offset != 0 || last->length != 0) break;
+    --h->slot_count;
+  }
   return Status::Ok();
 }
 

@@ -9,57 +9,19 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "io/volume.h"
+#include "log/log_archive.h"
 #include "log/log_storage.h"
 #include "sm/options.h"
 #include "sm/storage_manager.h"
 
 namespace shoremt::repl {
 
-/// One archived log segment, as recorded by a MANIFEST line
-/// (`v1 <base> <length> <capacity> <file>`, written by
-/// LogStorage::Recycle when LogOptions::archive_dir is set).
-struct ArchivedSegment {
-  uint64_t base = 0;      ///< Absolute log byte offset of the first byte.
-  uint64_t length = 0;    ///< Bytes in the archive file.
-  uint64_t capacity = 0;  ///< The segment's configured capacity.
-  std::string file;       ///< File name, relative to the archive dir.
-};
-
-/// Read-side view of a segment archive directory: parses the MANIFEST and
-/// serves byte ranges out of the per-segment files. Consumers: the
-/// shipper's below-horizon fallback (a replica attaching after segments
-/// were recycled) and RestoreToLsn.
-class LogArchive {
- public:
-  /// Opens `dir`. A missing directory or MANIFEST yields an EMPTY archive
-  /// (archiving may simply not have recycled anything yet); a malformed
-  /// MANIFEST line is Corruption.
-  static Result<LogArchive> Open(const std::string& dir);
-
-  const std::vector<ArchivedSegment>& segments() const { return segments_; }
-  bool empty() const { return segments_.empty(); }
-  /// First archived byte (0 when empty).
-  uint64_t base_offset() const {
-    return segments_.empty() ? 0 : segments_.front().base;
-  }
-  /// One past the last archived byte (0 when empty).
-  uint64_t end_offset() const {
-    return segments_.empty() ? 0
-                             : segments_.back().base + segments_.back().length;
-  }
-
-  /// Finds the archived segment containing absolute offset; null if the
-  /// offset is not covered.
-  const ArchivedSegment* SegmentAt(uint64_t offset) const;
-
-  /// Reads [offset, offset + len) — which may span archive files — into
-  /// `out` (cleared first). IOError when the range is not fully covered.
-  Status Read(uint64_t offset, size_t len, std::vector<uint8_t>* out) const;
-
- private:
-  std::string dir_;
-  std::vector<ArchivedSegment> segments_;  ///< Sorted by base, contiguous.
-};
+/// The archive reader moved down into the log layer (log/log_archive.h)
+/// so the storage manager's media auto-repair can replay archived
+/// records without an sm → repl dependency cycle; these aliases keep
+/// the original repl-side spelling working.
+using ArchivedSegment = log::ArchivedSegment;
+using LogArchive = log::LogArchive;
 
 /// A point-in-time-restored engine instance. Declaration order matters:
 /// the manager is destroyed first (it borrows the log and volume).

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -26,10 +27,43 @@ void SegmentShipper::Start() {
 
 void SegmentShipper::Stop() {
   if (!stop_.exchange(true)) {
+    // Under fd_mutex_ so the shutdown hits whichever socket the serve
+    // loop currently owns (a reconnect may have swapped it), plus any
+    // replacement parked but not yet adopted.
+    std::lock_guard<std::mutex> lk(fd_mutex_);
     // Unblocks both our reads and the replica's (it sees EOF).
     ::shutdown(fd_, SHUT_RDWR);
+    if (pending_fd_ >= 0) ::shutdown(pending_fd_, SHUT_RDWR);
+    fd_cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
+}
+
+void SegmentShipper::ReplaceSocket(int fd) {
+  std::lock_guard<std::mutex> lk(fd_mutex_);
+  pending_fd_ = fd;
+  fd_cv_.notify_all();
+}
+
+bool SegmentShipper::WaitForReplacementFd() {
+  std::unique_lock<std::mutex> lk(fd_mutex_);
+  uint64_t waited_ms = 0;
+  uint64_t slice_ms = std::max<uint64_t>(1, opts_.reconnect_backoff_initial_ms);
+  while (pending_fd_ < 0 && !stop_.load(std::memory_order_acquire)) {
+    if (opts_.reconnect_wait_budget_ms != 0 &&
+        waited_ms >= opts_.reconnect_wait_budget_ms) {
+      return false;
+    }
+    fd_cv_.wait_for(lk, std::chrono::milliseconds(slice_ms));
+    waited_ms += slice_ms;
+    slice_ms = std::min(slice_ms * 2, std::max<uint64_t>(
+                                          1, opts_.reconnect_backoff_max_ms));
+  }
+  if (stop_.load(std::memory_order_acquire) || pending_fd_ < 0) return false;
+  fd_ = pending_fd_;
+  pending_fd_ = -1;
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 Status SegmentShipper::status() const {
@@ -149,6 +183,22 @@ Status SegmentShipper::ShipNext(bool* progressed) {
 }
 
 Status SegmentShipper::Serve() {
+  Status st = ServeSession();
+  // Reconnect mode: a dead connection (clean peer EOF — Ok — or a socket
+  // error) parks the loop waiting for a replacement fd instead of ending
+  // replication. Protocol violations (Corruption) still end it: a peer
+  // that speaks garbage will speak garbage again. The replica's kHello on
+  // the new connection carries its cursor, so shipping resumes exactly
+  // where the replica's durable state ends — no bytes skipped or doubled.
+  while (opts_.reconnect && !stop_.load(std::memory_order_acquire) &&
+         (st.ok() || st.code() == StatusCode::kIOError)) {
+    if (!WaitForReplacementFd()) break;
+    st = ServeSession();
+  }
+  return st;
+}
+
+Status SegmentShipper::ServeSession() {
   // The replica opens with kHello{next_offset}.
   Frame hello;
   Status st = ReadFrame(fd_, &hello);

@@ -2,6 +2,7 @@
 #define SHOREMT_REPL_SHIPPER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
@@ -33,6 +34,18 @@ class SegmentShipper {
   struct Options {
     /// Idle poll interval while waiting for new durable bytes or acks.
     int poll_interval_ms = 2;
+    /// Survive replica disconnects: instead of ending Serve, park and
+    /// wait (bounded exponential backoff between wake-ups) for the owner
+    /// to hand in a freshly connected socket via ReplaceSocket(), then
+    /// redo the kHello handshake and resume from the replica's cursor.
+    /// The lag gauge keeps counting across the gap — acked_replayed_lsn
+    /// holds the last pre-disconnect ack while durable bytes grow.
+    bool reconnect = false;
+    uint64_t reconnect_backoff_initial_ms = 10;
+    uint64_t reconnect_backoff_max_ms = 1000;
+    /// Total time Serve waits for a replacement before giving up
+    /// (0 = wait until Stop).
+    uint64_t reconnect_wait_budget_ms = 10'000;
   };
 
   /// `log` must outlive the shipper. `fd` is owned by the caller.
@@ -56,6 +69,12 @@ class SegmentShipper {
   /// Serve()'s result once it has exited (Ok while running).
   Status status() const;
 
+  /// Hands the shipper a freshly connected replacement socket (owned by
+  /// the caller, like the constructor's fd). With Options::reconnect the
+  /// serve loop picks it up after the current connection dies; without,
+  /// the call is remembered but never consumed. Thread-safe.
+  void ReplaceSocket(int fd);
+
   // --- observability --------------------------------------------------------
 
   uint64_t shipped_offset() const {
@@ -74,6 +93,10 @@ class SegmentShipper {
   /// Durable bytes the replica has not yet REPLAYED (the primary-side
   /// replication lag: ships + applies still in flight).
   uint64_t lag_bytes() const;
+  /// Completed reconnects (replacement socket adopted + handshake redone).
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
 
   /// Registers the shipper's counters as a source on `reg` (typically the
   /// primary StorageManager's registry): segments shipped, bytes
@@ -88,10 +111,22 @@ class SegmentShipper {
   /// Ships the next chunk at cursor_; false with st unset when there is
   /// nothing new to ship.
   Status ShipNext(bool* progressed);
+  /// One connection's lifetime: kHello handshake, then ship until the
+  /// peer disconnects or Stop. (The pre-reconnect Serve body.)
+  Status ServeSession();
+  /// Parks until ReplaceSocket hands in a new fd (adopted into fd_),
+  /// Stop, or the wait budget runs out; true only when a socket was
+  /// adopted.
+  bool WaitForReplacementFd();
 
   log::LogManager* log_;
-  int fd_;
+  int fd_;  ///< Serve-thread reads; swapped/shut down under fd_mutex_.
   Options opts_;
+
+  std::mutex fd_mutex_;
+  std::condition_variable fd_cv_;
+  int pending_fd_ = -1;  ///< Replacement socket not yet adopted.
+  std::atomic<uint64_t> reconnects_{0};
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "btree/btree_node.h"
+#include "io/retry.h"
+#include "log/log_archive.h"
 #include "page/page.h"
 #include "page/slotted_page.h"
 
@@ -72,6 +74,11 @@ StorageManager::StorageManager(StorageOptions options, io::Volume* volume,
   // low-water mark advances and Recycle can free segments — cv notifies
   // end to end, nothing polls.
   pool_->SetCleanerWritebackHook([this] { log_->NoteCleanerWriteback(); });
+  // Media auto-repair: a checksum-failed read-in (miss path or scrubber)
+  // rebuilds the page from the archived + live log history instead of
+  // surfacing Corruption to the fixer.
+  pool_->SetPageRepairer(
+      [this](PageNum page, uint8_t* img) { return RepairPage(page, img); });
   log_->SetPressureHook([this] {
     pool_->WakeCleaner();
     WakeCheckpoint();
@@ -133,6 +140,24 @@ StorageManager::StorageManager(StorageOptions options, io::Volume* volume,
         b.prefetch_issued.load(std::memory_order_relaxed);
     (*t)[static_cast<size_t>(obs::Metric::kIoPrefetchDropped)] +=
         b.prefetch_dropped.load(std::memory_order_relaxed);
+  });
+  metrics_.AddSource([this](std::array<uint64_t, obs::kMetricCount>* t) {
+    // Integrity: retries come from the volume's IoStats (RetryTransient
+    // counts there from both the scheduler workers and the pool's
+    // synchronous paths, so it is the single non-double-counting source);
+    // detection/repair/scrub come from the pool.
+    const io::IoStats& s = volume_->stats();
+    (*t)[static_cast<size_t>(obs::Metric::kIoRetries)] +=
+        s.retries.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kIoRetryBackoffNs)] +=
+        s.retry_backoff_ns.load(std::memory_order_relaxed);
+    const buffer::BufferPoolStats& b = pool_->stats();
+    (*t)[static_cast<size_t>(obs::Metric::kChecksumFailures)] +=
+        b.checksum_failures.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kPagesRepaired)] +=
+        b.pages_repaired.load(std::memory_order_relaxed);
+    (*t)[static_cast<size_t>(obs::Metric::kScrubPages)] +=
+        b.scrub_pages.load(std::memory_order_relaxed);
   });
 }
 
@@ -756,6 +781,176 @@ Status StorageManager::ApplyRedo(const log::LogRecord& rec, Lsn end,
     }
     default:
       return Status::Ok();  // Metadata handled during analysis.
+  }
+}
+
+Status StorageManager::RepairPage(PageNum page, uint8_t* img) {
+  // Reassemble the page's full history exactly the way PITR restore does:
+  // archived segments first (they carry the recycled prefix), live log
+  // bytes after. Stream offset 0 is LSN 1.
+  std::vector<uint8_t> stream;
+  uint64_t archive_end = 0;
+  if (!options_.log.archive_dir.empty()) {
+    SHOREMT_ASSIGN_OR_RETURN(
+        log::LogArchive archive, log::LogArchive::Open(options_.log.archive_dir));
+    if (!archive.empty()) {
+      if (archive.base_offset() != 0) {
+        return Status::Corruption(
+            "archive starts at offset " +
+            std::to_string(archive.base_offset()) +
+            ", log prefix was recycled unarchived — page history incomplete");
+      }
+      // A damaged archived segment fails its manifest CRC here and the
+      // repair is refused — never rebuilt from bytes that cannot be
+      // trusted.
+      SHOREMT_RETURN_NOT_OK(archive.Read(0, archive.end_offset(), &stream));
+      archive_end = archive.end_offset();
+    }
+  }
+  if (log_storage_->size() > archive_end) {
+    std::vector<uint8_t> live;
+    // ReadFrom rejects offsets below the reclamation horizon, which is
+    // exactly the no-archive-and-recycled case: the history is gone.
+    SHOREMT_RETURN_NOT_OK(log_storage_->ReadFrom(archive_end, &live));
+    stream.insert(stream.end(), live.begin(), live.end());
+  }
+  if (stream.empty()) {
+    return Status::Corruption("no repair source: empty archive and log");
+  }
+
+  // Replay every record that touches `page`, oldest first, into a zeroed
+  // image. The final state is at least as new as any image write-back
+  // could have produced (every change to an unfixed page is WAL-durable
+  // before the page leaves the pool), so redo's page-LSN idempotence
+  // remains correct afterwards.
+  std::memset(img, 0, kPageSize);
+  bool touched = false;
+  uint64_t pos = 0;
+  while (pos + 4 <= stream.size()) {
+    uint32_t len;
+    std::memcpy(&len, stream.data() + pos, 4);
+    if (len < log::kLogRecordHeaderSize + log::kLogRecordCrcSize ||
+        pos + len > stream.size()) {
+      break;  // Torn tail (crash mid-append): history ends here.
+    }
+    log::LogRecord rec;
+    size_t consumed = 0;
+    Status ds = log::DeserializeLogRecord(
+        std::span<const uint8_t>(stream).subspan(pos), &rec, &consumed);
+    if (!ds.ok()) {
+      // A damaged record anywhere in the stream poisons everything after
+      // it — a partial replay would silently hand back a stale image.
+      return Status::Corruption(ds.message() + " at LSN " +
+                                std::to_string(pos + 1) + " during repair");
+    }
+    Lsn end{pos + 1 + len};
+    rec.lsn = Lsn{pos + 1};
+    if (rec.page == page) {
+      SHOREMT_RETURN_NOT_OK(RepairRedoToImage(rec, end, img));
+      touched = true;
+    }
+    pos += len;
+  }
+  if (!touched) {
+    return Status::Corruption("no log record references page " +
+                              std::to_string(page) + " — unrepairable");
+  }
+  if (!page::PageLooksValid(img, page)) {
+    return Status::Corruption("repaired image for page " +
+                              std::to_string(page) +
+                              " failed validation");
+  }
+  page::StampPageChecksum(img);
+  // Heal the media copy too, so the repair sticks even if the frame is
+  // later evicted clean.
+  io::RetryPolicy policy{options_.buffer.io.max_retries,
+                         options_.buffer.io.retry_initial_backoff_ns,
+                         options_.buffer.io.retry_max_backoff_ns};
+  return io::RetryTransient(volume_, policy,
+                            [&] { return volume_->WritePage(page, img); });
+}
+
+Status StorageManager::RepairRedoToImage(const log::LogRecord& rec, Lsn end,
+                                         uint8_t* img) {
+  using log::LogRecordType;
+  switch (rec.type) {
+    case LogRecordType::kClr: {
+      log::LogRecord action;
+      action.type = static_cast<LogRecordType>(rec.page_type);
+      action.page = rec.page;
+      action.slot = rec.slot;
+      action.store = rec.store;
+      action.before = rec.before;
+      action.after = rec.after;
+      return RepairRedoToImage(action, end, img);
+    }
+    case LogRecordType::kPageFormat: {
+      auto type = static_cast<page::PageType>(rec.page_type);
+      if (type == page::PageType::kData) {
+        page::SlottedPage sp(img);
+        sp.Init(rec.page, rec.store, type);
+      } else {
+        btree::BTreeNode node(img);
+        node.Init(rec.page, rec.store,
+                  type == page::PageType::kBTreeLeaf ? 0 : 1);
+      }
+      page::HeaderOf(img)->page_lsn = end.value;
+      return Status::Ok();
+    }
+    case LogRecordType::kPageInsert:
+    case LogRecordType::kPageUpdate:
+    case LogRecordType::kPageDelete:
+    case LogRecordType::kBtreeInsert:
+    case LogRecordType::kBtreeDelete:
+    case LogRecordType::kBtreeSetContent: {
+      if (page::HeaderOf(img)->magic != page::kPageMagic) {
+        return Status::Corruption(
+            "repair replay met an update before the format of page " +
+            std::to_string(rec.page));
+      }
+      switch (rec.type) {
+        case LogRecordType::kPageInsert: {
+          page::SlottedPage sp(img);
+          SHOREMT_RETURN_NOT_OK(sp.InsertAt(rec.slot, rec.after));
+          break;
+        }
+        case LogRecordType::kPageUpdate: {
+          page::SlottedPage sp(img);
+          SHOREMT_RETURN_NOT_OK(sp.Update(rec.slot, rec.after));
+          break;
+        }
+        case LogRecordType::kPageDelete: {
+          page::SlottedPage sp(img);
+          SHOREMT_RETURN_NOT_OK(sp.Delete(rec.slot));
+          break;
+        }
+        case LogRecordType::kBtreeInsert: {
+          btree::BTreeNode node(img);
+          btree::BTreeEntry e;
+          std::memcpy(&e, rec.after.data(), sizeof(e));
+          node.InsertSorted(e.key, e.value);
+          break;
+        }
+        case LogRecordType::kBtreeDelete: {
+          btree::BTreeNode node(img);
+          btree::BTreeEntry e;
+          std::memcpy(&e, rec.before.data(), sizeof(e));
+          node.RemoveKey(e.key);
+          break;
+        }
+        case LogRecordType::kBtreeSetContent: {
+          btree::BTreeNode node(img);
+          node.RestoreContent(rec.after);
+          break;
+        }
+        default:
+          break;
+      }
+      page::HeaderOf(img)->page_lsn = end.value;
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();  // Metadata records carry no page bytes.
   }
 }
 

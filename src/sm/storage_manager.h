@@ -262,6 +262,20 @@ class StorageManager {
   /// Ratchets next_store_ above `store` (metadata replay).
   void RaiseNextStore(StoreId store);
 
+  /// Media auto-repair (wired into the buffer pool as its page repairer):
+  /// rebuilds `page`'s image by replaying the full log history — archived
+  /// segments (options_.log.archive_dir) first, then the live log — into
+  /// a zeroed image, stamps its checksum, and durably rewrites the healed
+  /// page on the volume. Fails with Corruption when the history is
+  /// incomplete (prefix recycled unarchived, damaged archive segment, or
+  /// no record ever referenced the page).
+  Status RepairPage(PageNum page, uint8_t* img);
+  /// Applies one redo-able record directly to a raw page image (never
+  /// through the pool — RepairPage runs inside the pool's miss path, so a
+  /// FixPage here would self-deadlock). Mirrors ApplyRedo's page-level
+  /// appliers with the page LSN as the idempotence ratchet.
+  Status RepairRedoToImage(const log::LogRecord& rec, Lsn end, uint8_t* img);
+
   /// Registers a table in the in-memory catalog (create or recovery).
   void RegisterTable(const TableInfo& info);
   /// Heap row insert: picks/allocates a page with space and places the
