@@ -1,0 +1,196 @@
+/// Ablation: B+Tree descent protocol (real engine, real threads).
+///
+/// Sweeps shared-latch crabbing vs optimistic lock coupling over
+/// 1/2/4/8 reader threads at a 0% and a 5% writer mix, against one
+/// pre-loaded tree per cell. Emits one JSON line per cell (probes/s,
+/// restarts/probe, latch fallbacks) so the ISSUE-10 acceptance numbers —
+/// optimistic >= 1.5x crab at 4 readers, flat 1→4 scaling, bounded
+/// restarts under writers — are machine-checkable from the output.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "common/clock.h"
+#include "io/volume.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "obs/metrics.h"
+#include "space/space_manager.h"
+#include "txn/txn_manager.h"
+
+using namespace shoremt;
+
+namespace {
+
+constexpr StoreId kStore = 3;
+constexpr uint64_t kPreload = 20'000;  // Even keys 0..2*kPreload.
+
+RecordId RidFor(uint64_t key) {
+  return RecordId{key + 1, static_cast<uint16_t>(key & 0x7fff)};
+}
+
+/// Component stack for direct B+Tree probing (no session/lock overhead on
+/// the measured path — the descent itself is the subject).
+struct Stack {
+  explicit Stack(btree::BTreeOptions tree_opts)
+      : log(&wal, log::LogOptions{}),
+        pool(&volume, PoolOptions(),
+             [this](Lsn lsn) { return log.FlushTo(lsn); }),
+        space(&volume, space::SpaceOptions{}),
+        locks(lock::LockOptions{}),
+        txns(&log, &locks, txn::TxnOptions{}) {
+    (void)volume.Extend(kPagesPerExtent);
+    (void)space.CreateStore(kStore);
+    auto* txn = txns.Begin();
+    auto root =
+        btree::BTree::CreateRoot(&pool, &space, &log, &txns, txn, kStore);
+    (void)txns.Commit(txn);
+    tree = std::make_unique<btree::BTree>(&pool, &space, &log, &txns, kStore,
+                                          *root, tree_opts);
+    for (uint64_t k = 0; k < kPreload; ++k) {
+      auto* t = txns.Begin();
+      (void)tree->Insert(t, k * 2, RidFor(k * 2));
+      (void)txns.Commit(t);
+    }
+  }
+
+  static buffer::BufferPoolOptions PoolOptions() {
+    buffer::BufferPoolOptions o;
+    o.frame_count = 4096;  // Tree stays resident: probe cost, not I/O.
+    return o;
+  }
+
+  io::MemVolume volume;
+  log::LogStorage wal;
+  log::LogManager log;
+  buffer::BufferPool pool;
+  space::SpaceManager space;
+  lock::LockManager locks;
+  txn::TxnManager txns;
+  std::unique_ptr<btree::BTree> tree;
+};
+
+struct CellResult {
+  double probes_per_s = 0;
+  double restarts_per_probe = 0;
+  uint64_t fallbacks = 0;
+};
+
+CellResult RunCell(bool optimistic, int readers, int writer_pct,
+                   uint64_t duration_ms) {
+  btree::BTreeOptions opts;
+  opts.optimistic_reads = optimistic;
+  Stack s(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> probes{0};
+  std::atomic<uint64_t> restarts{0};
+  std::atomic<uint64_t> fallbacks{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      obs::WorkerCounters wc;
+      obs::TlsWorkerCounters() = &wc;
+      uint64_t rng = 0x2545f4914f6cdd1dull + static_cast<uint64_t>(t);
+      // Disjoint per-thread insert keyspace above the preload.
+      uint64_t next_insert = 2 * kPreload + 1 + static_cast<uint64_t>(t);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        if (writer_pct > 0 &&
+            static_cast<int>(rng % 100) < writer_pct) {
+          auto* txn = s.txns.Begin();
+          (void)s.tree->Insert(txn, next_insert, RidFor(next_insert));
+          (void)s.txns.Commit(txn);
+          next_insert += 2 * static_cast<uint64_t>(readers);
+        } else {
+          uint64_t key = (rng % kPreload) * 2;
+          auto rid = s.tree->Find(nullptr, key);
+          if (!rid.ok() || rid->page != RidFor(key).page) {
+            std::fprintf(stderr, "FATAL: wrong answer for key %llu\n",
+                         (unsigned long long)key);
+            std::abort();
+          }
+          ++local;
+        }
+      }
+      probes.fetch_add(local, std::memory_order_relaxed);
+      restarts.fetch_add(wc.Value(obs::Metric::kBtreeRestarts),
+                         std::memory_order_relaxed);
+      fallbacks.fetch_add(wc.Value(obs::Metric::kBtreeLatchFallbacks),
+                          std::memory_order_relaxed);
+      obs::TlsWorkerCounters() = nullptr;
+    });
+  }
+
+  uint64_t t0 = NowNanos();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  double secs = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  CellResult r;
+  r.probes_per_s = static_cast<double>(probes.load()) / secs;
+  r.restarts_per_probe =
+      probes.load() ? static_cast<double>(restarts.load()) /
+                          static_cast<double>(probes.load())
+                    : 0.0;
+  r.fallbacks = fallbacks.load();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const char* full_env = std::getenv("SHOREMT_FULL");
+  bool full = full_env != nullptr && full_env[0] != '\0' && full_env[0] != '0';
+  uint64_t duration_ms = smoke ? 150 : (full ? 2000 : 600);
+
+  std::printf("# abl_btree: shared-crab vs optimistic descent "
+              "(preload=%llu keys, %llums/cell)\n",
+              (unsigned long long)kPreload,
+              (unsigned long long)duration_ms);
+  double crab4 = 0, opt4 = 0, opt1 = 0;
+  for (int writer_pct : {0, 5}) {
+    for (bool optimistic : {false, true}) {
+      for (int readers : {1, 2, 4, 8}) {
+        CellResult r = RunCell(optimistic, readers, writer_pct, duration_ms);
+        std::printf("{\"bench\":\"abl_btree\",\"mode\":\"%s\","
+                    "\"readers\":%d,\"writer_pct\":%d,"
+                    "\"probes_per_s\":%.0f,\"restarts_per_probe\":%.4f,"
+                    "\"latch_fallbacks\":%llu}\n",
+                    optimistic ? "optimistic" : "shared-crab", readers,
+                    writer_pct, r.probes_per_s, r.restarts_per_probe,
+                    (unsigned long long)r.fallbacks);
+        std::fflush(stdout);
+        if (writer_pct == 0 && readers == 4) {
+          (optimistic ? opt4 : crab4) = r.probes_per_s;
+        }
+        if (writer_pct == 0 && optimistic && readers == 1) {
+          opt1 = r.probes_per_s;
+        }
+      }
+    }
+  }
+  if (crab4 > 0 && opt1 > 0) {
+    std::printf("# summary: optimistic/crab @4r,0%%w = %.2fx; "
+                "optimistic per-thread 4r/1r = %.2f\n",
+                opt4 / crab4, (opt4 / 4.0) / opt1);
+  }
+  return 0;
+}

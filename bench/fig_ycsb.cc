@@ -18,6 +18,7 @@
 #include "bench/bench_util.h"
 #include "io/volume.h"
 #include "log/log_storage.h"
+#include "obs/metrics_registry.h"
 #include "obs/profiling_thread.h"
 #include "sm/session.h"
 #include "sm/storage_manager.h"
@@ -36,12 +37,20 @@ struct SweepPoint {
 /// One measured cell: fresh database (D/E mutate it), per-thread session
 /// + YcsbWorker, async commits drained through WaitAll, latency merged
 /// across the driver's per-thread histograms.
+///
+/// `optimistic_override`: -1 keeps the stage default (kFinal = optimistic
+/// descents); 0/1 forces shared-latch crabbing / optimistic lock coupling
+/// for the read-mostly ablation panel.
 bool RunCell(YcsbWorkload w, double theta, int threads, uint64_t window_ms,
-             const YcsbConfig& base_cfg, uint64_t profile_interval_us) {
+             const YcsbConfig& base_cfg, uint64_t profile_interval_us,
+             int optimistic_override = -1) {
   io::MemVolume volume;
   log::LogStorage wal(/*append_latency_ns=*/20'000);
   sm::StorageOptions sm_opts = sm::StorageOptions::ForStage(sm::Stage::kFinal);
   sm_opts.buffer.frame_count = 8192;
+  if (optimistic_override >= 0) {
+    sm_opts.btree.optimistic_reads = optimistic_override != 0;
+  }
   // F's read-modify-write upgrades S -> X on the row it just read; two
   // workers colliding on a hot key upgrade-deadlock. Resolve cycles
   // immediately (victim aborts, driver retries) instead of waiting out
@@ -77,6 +86,7 @@ bool RunCell(YcsbWorkload w, double theta, int threads, uint64_t window_ms,
   }
 
   sm::SessionStats base = db->harvested_session_stats();
+  obs::MetricsSnapshot m0 = db->metrics()->Snapshot();
 
   // The live feed: per-interval counter deltas + tick latency quantiles,
   // streamed while the workload runs.
@@ -98,20 +108,30 @@ bool RunCell(YcsbWorkload w, double theta, int threads, uint64_t window_ms,
   profiler.Stop();
   for (auto& s : sessions) s->Harvest();
   sm::SessionStats stats = db->harvested_session_stats();
+  obs::MetricsSnapshot m1 = db->metrics()->Snapshot();
+  auto delta = [&](obs::Metric m) {
+    return (unsigned long long)(m1[m] - m0[m]);
+  };
 
   std::printf(
       "{\"workload\":\"%s\",\"dist\":\"%s\",\"theta\":%.2f,"
-      "\"threads\":%d,\"tps\":%.0f,\"p50_ns\":%llu,\"p99_ns\":%llu,"
-      "\"p999_ns\":%llu,\"aborts\":%llu,\"lock_waits\":%llu,"
-      "\"ops\":%llu}\n",
+      "\"threads\":%d,\"optimistic\":%d,\"tps\":%.0f,\"p50_ns\":%llu,"
+      "\"p99_ns\":%llu,\"p999_ns\":%llu,\"aborts\":%llu,"
+      "\"lock_waits\":%llu,\"ops\":%llu,\"btree_finds\":%llu,"
+      "\"btree_descents\":%llu,\"btree_restarts\":%llu,"
+      "\"btree_fallbacks\":%llu}\n",
       std::string(YcsbName(w)).c_str(), theta > 0 ? "zipf" : "uniform",
-      theta, threads, res.tps,
+      theta, threads, sm_opts.btree.optimistic_reads ? 1 : 0, res.tps,
       (unsigned long long)res.latency.P50(),
       (unsigned long long)res.latency.P99(),
       (unsigned long long)res.latency.P999(),
       (unsigned long long)res.aborts,
       (unsigned long long)(stats.lock_waits - base.lock_waits),
-      (unsigned long long)(stats.ops() - base.ops()));
+      (unsigned long long)(stats.ops() - base.ops()),
+      delta(obs::Metric::kBtreeFinds),
+      delta(obs::Metric::kBtreeOptimisticDescents),
+      delta(obs::Metric::kBtreeRestarts),
+      delta(obs::Metric::kBtreeLatchFallbacks));
   bench::PrintIoSpineStats(volume.stats(), db->pool()->stats(), "  ");
   std::fflush(stdout);
   return true;
@@ -156,6 +176,22 @@ int main(int argc, char** argv) {
     for (const SweepPoint& pt : sweep) {
       for (int t : threads) {
         if (!RunCell(w, pt.theta, t, window_ms, cfg, interval_us)) return 1;
+      }
+    }
+  }
+  // Read-mostly panel: YCSB-C (100% reads) at zipf 0.9 — the hot root
+  // and upper levels make shared-latch crabbing bounce the latch cache
+  // line between readers, while optimistic descents never write it. The
+  // live feed streams the btree_finds / btree_optimistic_descents /
+  // btree_restarts / btree_latch_fallbacks columns per tick; the JSON
+  // line carries the cell totals.
+  std::printf("=== YCSB-C read-mostly panel: shared-crab vs optimistic "
+              "descent ===\n");
+  for (int opt : {0, 1}) {
+    for (int t : threads) {
+      if (!RunCell(YcsbWorkload::kC, 0.9, t, window_ms, cfg, interval_us,
+                   opt)) {
+        return 1;
       }
     }
   }

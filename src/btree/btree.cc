@@ -4,12 +4,102 @@
 #include <utility>
 
 #include "btree/btree_node.h"
+#include "obs/metrics.h"
 #include "page/page.h"
 
 namespace shoremt::btree {
 
 using buffer::PageHandle;
 using sync::LatchMode;
+
+// ---------------------------------------------------------------------------
+// Torn-tolerant node readers for the optimistic descent. These run against
+// a LIVE page image that a concurrent exclusive holder may be rewriting:
+// every load can return garbage, and the caller trusts nothing until the
+// node's HybridLatch validates. The rules of SHOREMT_NO_SANITIZE_THREAD
+// apply — loads only, every index clamped before use (a torn count must
+// never walk past the page), no libcalls over the shared bytes.
+
+namespace {
+
+constexpr size_t kNodeHeaderOff = sizeof(page::PageHeader);
+constexpr size_t kEntriesOff =
+    kNodeHeaderOff + sizeof(BTreeNode::NodeHeader);
+
+SHOREMT_NO_SANITIZE_THREAD
+inline void OptReadHeader(const uint8_t* d, uint16_t* count,
+                          uint16_t* level) {
+  const auto* nh =
+      reinterpret_cast<const BTreeNode::NodeHeader*>(d + kNodeHeaderOff);
+  uint16_t c = nh->count;
+  // Clamp: a torn count (up to 65535) must never index past the entry
+  // array — validation rejects the result either way.
+  *count = c > BTreeNode::kMaxEntries
+               ? static_cast<uint16_t>(BTreeNode::kMaxEntries)
+               : c;
+  *level = nh->level;
+}
+
+SHOREMT_NO_SANITIZE_THREAD
+inline uint16_t OptLowerBound(const uint8_t* d, uint16_t count,
+                              uint64_t key) {
+  const auto* e = reinterpret_cast<const BTreeEntry*>(d + kEntriesOff);
+  uint16_t lo = 0, hi = count;
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>(lo + (hi - lo) / 2);
+    if (e[mid].key < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+SHOREMT_NO_SANITIZE_THREAD
+inline PageNum OptChildFor(const uint8_t* d, uint16_t count, uint64_t key) {
+  const auto* nh =
+      reinterpret_cast<const BTreeNode::NodeHeader*>(d + kNodeHeaderOff);
+  const auto* e = reinterpret_cast<const BTreeEntry*>(d + kEntriesOff);
+  uint16_t i = OptLowerBound(d, count, key);
+  if (i < count && e[i].key == key) return e[i].value;
+  if (i == 0) return nh->leftmost_child;
+  return e[i - 1].value;
+}
+
+SHOREMT_NO_SANITIZE_THREAD
+inline bool OptFindLeaf(const uint8_t* d, uint16_t count, uint64_t key,
+                        uint64_t* value) {
+  const auto* e = reinterpret_cast<const BTreeEntry*>(d + kEntriesOff);
+  uint16_t i = OptLowerBound(d, count, key);
+  if (i < count && e[i].key == key) {
+    *value = e[i].value;
+    return true;
+  }
+  return false;
+}
+
+SHOREMT_NO_SANITIZE_THREAD
+inline PageNum OptNextPage(const uint8_t* d) {
+  return reinterpret_cast<const page::PageHeader*>(d)->next_page;
+}
+
+/// Copies entries [from, count) whose key qualifies against `min_key`
+/// into `out` (private memory — only the loads are racy).
+SHOREMT_NO_SANITIZE_THREAD
+inline void OptCopyTail(const uint8_t* d, uint16_t count, uint16_t from,
+                        uint64_t min_key, bool exclusive,
+                        std::vector<BTreeEntry>* out) {
+  const auto* e = reinterpret_cast<const BTreeEntry*>(d + kEntriesOff);
+  for (uint16_t i = from; i < count; ++i) {
+    BTreeEntry copy{e[i].key, e[i].value};
+    if (exclusive ? copy.key > min_key : copy.key >= min_key) {
+      out->push_back(copy);
+    }
+  }
+}
+
+}  // namespace
 
 BTree::BTree(buffer::BufferPool* pool, space::SpaceManager* space,
              log::LogManager* log, txn::TxnManager* txns, StoreId store,
@@ -279,15 +369,61 @@ Status BTree::Insert(txn::Transaction* txn, uint64_t key, RecordId rid) {
 }
 
 Result<RecordId> BTree::Find(txn::Transaction* txn, uint64_t key) {
-  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  // Per-worker counters only on this path: a shared RMW per probe is the
+  // §7 coherence collapse in miniature (see BTreeStats).
+  obs::TlsInc(obs::Metric::kBtreeFinds);
   if (options_.probe_lock_table && txn != nullptr) {
     // §7.7's redundant per-probe check. The shared-table search this knob
     // used to emulate is gone for good: the transaction's private lock
     // cache answers the same question with a handle-local map lookup, so
     // even with the knob on, no latch and no shared cache line is touched.
     (void)txn->locks.HeldMode(lock::LockId::Store(store_));
-    stats_.probe_lock_searches.fetch_add(1, std::memory_order_relaxed);
+    obs::TlsInc(obs::Metric::kBtreeProbeLockSearches);
   }
+  if (options_.optimistic_reads) {
+    for (int r = 0; r <= options_.optimistic_restart_limit; ++r) {
+      Result<RecordId> res = TryFindOptimistic(key);
+      if (res.ok() || !res.status().IsBusy()) {
+        obs::TlsInc(obs::Metric::kBtreeOptimisticDescents);
+        return res;
+      }
+      obs::TlsInc(obs::Metric::kBtreeRestarts);
+    }
+    // Conflict storm: guarantee progress with the latched crab.
+    obs::TlsInc(obs::Metric::kBtreeLatchFallbacks);
+  }
+  return FindLatched(key);
+}
+
+Result<RecordId> BTree::TryFindOptimistic(uint64_t key) {
+  SHOREMT_ASSIGN_OR_RETURN(buffer::OptimisticPageHandle h,
+                           pool_->FixOptimistic(root_));
+  for (;;) {
+    uint16_t count, level;
+    OptReadHeader(h.data(), &count, &level);
+    if (level == 0) {
+      uint64_t value = 0;
+      bool found = OptFindLeaf(h.data(), count, key, &value);
+      // NotFound is an answer too — it is only trusted validated.
+      if (!h.Validate()) return Status::Busy("optimistic restart");
+      if (!found) return Status::NotFound("key not found");
+      return UnpackRecordId(value);
+    }
+    PageNum child = OptChildFor(h.data(), count, key);
+    // Validate BEFORE fixing the child: a torn pointer must never reach
+    // the buffer pool (its miss path would read garbage off the volume).
+    if (!h.Validate()) return Status::Busy("optimistic restart");
+    SHOREMT_ASSIGN_OR_RETURN(buffer::OptimisticPageHandle child_h,
+                             pool_->FixOptimistic(child));
+    // Optimistic lock coupling: re-check the parent after the child's
+    // stamp is recorded — proves the pointer was still current at that
+    // instant, so the parent can now be released (dropped) safely.
+    if (!h.Validate()) return Status::Busy("optimistic restart");
+    h = child_h;
+  }
+}
+
+Result<RecordId> BTree::FindLatched(uint64_t key) {
   SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
                            pool_->FixPage(root_, LatchMode::kShared));
   for (;;) {
@@ -331,6 +467,55 @@ Status BTree::Remove(txn::Transaction* txn, uint64_t key) {
 }
 
 Status BTree::Iterator::Seek(uint64_t key) {
+  const BTreeOptions& opt = tree_->options_;
+  if (opt.optimistic_reads) {
+    for (int r = 0; r <= opt.optimistic_restart_limit; ++r) {
+      Status st = TrySeekOptimistic(key);
+      if (!st.IsBusy()) {
+        if (st.ok()) obs::TlsInc(obs::Metric::kBtreeOptimisticDescents);
+        return st;
+      }
+      obs::TlsInc(obs::Metric::kBtreeRestarts);
+    }
+    obs::TlsInc(obs::Metric::kBtreeLatchFallbacks);
+  }
+  return SeekLatched(key);
+}
+
+Status BTree::Iterator::TrySeekOptimistic(uint64_t key) {
+  valid_ = false;
+  buf_.clear();
+  pos_ = 0;
+  SHOREMT_ASSIGN_OR_RETURN(buffer::OptimisticPageHandle h,
+                           tree_->pool_->FixOptimistic(tree_->root_));
+  for (;;) {
+    uint16_t count, level;
+    OptReadHeader(h.data(), &count, &level);
+    if (level == 0) {
+      // Buffer the qualifying tail from the live image; trust it (and the
+      // chain pointer) only once the leaf validates. A Busy restart clears
+      // the buffer at re-entry, so torn copies never escape.
+      OptCopyTail(h.data(), count, 0, key, /*exclusive=*/false, &buf_);
+      PageNum next = OptNextPage(h.data());
+      if (!h.Validate()) return Status::Busy("optimistic restart");
+      next_leaf_ = next;
+      ++refills_;  // New snapshot generation (readahead triggers off this).
+      if (!buf_.empty()) {
+        valid_ = true;
+        return Status::Ok();
+      }
+      return Refill(key, /*exclusive=*/false);
+    }
+    PageNum child = OptChildFor(h.data(), count, key);
+    if (!h.Validate()) return Status::Busy("optimistic restart");
+    SHOREMT_ASSIGN_OR_RETURN(buffer::OptimisticPageHandle child_h,
+                             tree_->pool_->FixOptimistic(child));
+    if (!h.Validate()) return Status::Busy("optimistic restart");
+    h = child_h;
+  }
+}
+
+Status BTree::Iterator::SeekLatched(uint64_t key) {
   valid_ = false;
   buf_.clear();
   pos_ = 0;
@@ -359,10 +544,50 @@ Status BTree::Iterator::Seek(uint64_t key) {
     valid_ = true;
     return Status::Ok();
   }
-  return Refill(key, /*exclusive=*/false);
+  return RefillLatched(key, /*exclusive=*/false);
 }
 
 Status BTree::Iterator::Refill(uint64_t min_key, bool exclusive) {
+  const BTreeOptions& opt = tree_->options_;
+  if (opt.optimistic_reads) {
+    for (int r = 0; r <= opt.optimistic_restart_limit; ++r) {
+      Status st = TryRefillOptimistic(min_key, exclusive);
+      if (!st.IsBusy()) return st;
+      obs::TlsInc(obs::Metric::kBtreeRestarts);
+    }
+    obs::TlsInc(obs::Metric::kBtreeLatchFallbacks);
+  }
+  return RefillLatched(min_key, exclusive);
+}
+
+Status BTree::Iterator::TryRefillOptimistic(uint64_t min_key,
+                                            bool exclusive) {
+  valid_ = false;
+  buf_.clear();
+  pos_ = 0;
+  // next_leaf_ only advances past VALIDATED leaves, so a Busy restart
+  // resumes exactly at the leaf whose snapshot conflicted — the resume
+  // filter then keeps the iteration exactly-once, as in the latched walk.
+  while (next_leaf_ != kInvalidPageNum) {
+    SHOREMT_ASSIGN_OR_RETURN(buffer::OptimisticPageHandle h,
+                             tree_->pool_->FixOptimistic(next_leaf_));
+    buf_.clear();
+    uint16_t count, level;
+    OptReadHeader(h.data(), &count, &level);
+    OptCopyTail(h.data(), count, 0, min_key, exclusive, &buf_);
+    PageNum next = OptNextPage(h.data());
+    if (!h.Validate()) return Status::Busy("optimistic restart");
+    next_leaf_ = next;
+    ++refills_;  // New snapshot generation (readahead triggers off this).
+    if (!buf_.empty()) {
+      valid_ = true;
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Status BTree::Iterator::RefillLatched(uint64_t min_key, bool exclusive) {
   // Invalidate up front: an error return (e.g. a failed page fix) must
   // not leave a Valid() iterator pointing at an empty buffer.
   valid_ = false;

@@ -26,14 +26,26 @@ struct BTreeOptions {
   /// shared-table walk it used to emulate no longer exists anywhere.
   /// Off in the final stage.
   bool probe_lock_table = false;
+
+  /// Optimistic lock coupling: Find and Iterator::Seek/Refill descend
+  /// without taking any latch, stamping each node's HybridLatch version
+  /// and validating it after the reads (restart from the root on any
+  /// conflict). Off = the classic shared-latch crab.
+  bool optimistic_reads = true;
+  /// Validation failures tolerated per operation before the descent falls
+  /// back to the latched path — guarantees progress under pathological
+  /// write storms (a restart storm otherwise livelocks readers).
+  int optimistic_restart_limit = 8;
 };
 
+/// Structure-modification counters. Writer-side only: per-probe read
+/// counters (finds, probe checks, restarts) live in the per-worker
+/// obs::WorkerCounters block — a shared RMW on the latch-free read path
+/// would reintroduce exactly the coherence traffic this design removes.
 struct BTreeStats {
   std::atomic<uint64_t> inserts{0};
-  std::atomic<uint64_t> finds{0};
   std::atomic<uint64_t> removes{0};
   std::atomic<uint64_t> splits{0};
-  std::atomic<uint64_t> probe_lock_searches{0};
 };
 
 /// Latch-coupled B+Tree over buffer pool pages (§2.2: "a robust
@@ -105,8 +117,18 @@ class BTree {
    private:
     /// Walks the leaf chain from `next_leaf_` until a leaf yields entries
     /// with key >= `min_key` (`exclusive`: key > `min_key` — the resume
-    /// filter used after the first leaf), buffering them.
+    /// filter used after the first leaf), buffering them. Dispatches to
+    /// the optimistic walk (with latched fallback) or straight to the
+    /// latched walk per BTreeOptions.
     Status Refill(uint64_t min_key, bool exclusive);
+    /// One optimistic chain walk; Busy = a validation failed, the caller
+    /// restarts (next_leaf_ only advances past validated leaves, so a
+    /// restart resumes at the leaf that conflicted).
+    Status TryRefillOptimistic(uint64_t min_key, bool exclusive);
+    Status RefillLatched(uint64_t min_key, bool exclusive);
+    /// One optimistic root-to-leaf descent + buffered copy; Busy = restart.
+    Status TrySeekOptimistic(uint64_t key);
+    Status SeekLatched(uint64_t key);
 
     BTree* tree_;
     std::vector<BTreeEntry> buf_;  ///< Snapshot of one leaf's tail.
@@ -142,6 +164,12 @@ class BTree {
   const BTreeStats& stats() const { return stats_; }
 
  private:
+  /// One latch-free root-to-leaf probe under the optimistic protocol.
+  /// Ok/NotFound are validated answers; Busy means a version check failed
+  /// and the caller should restart (or fall back to latches).
+  Result<RecordId> TryFindOptimistic(uint64_t key);
+  /// The classic shared-latch crab (also the optimistic fallback path).
+  Result<RecordId> FindLatched(uint64_t key);
   /// Appends `rec` (txn-chained when txn != null) and stamps `handle`.
   Status LogAndMark(txn::Transaction* txn, buffer::PageHandle* handle,
                     log::LogRecord rec);

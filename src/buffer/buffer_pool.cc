@@ -26,6 +26,16 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 uint8_t* PageHandle::data() { return pool_->FrameData(frame_); }
 const uint8_t* PageHandle::data() const { return pool_->FrameData(frame_); }
 
+// -------------------------------------------------- OptimisticPageHandle --
+
+const uint8_t* OptimisticPageHandle::data() const {
+  return pool_->FrameData(frame_);
+}
+
+bool OptimisticPageHandle::Validate() const {
+  return pool_ != nullptr && pool_->frames_[frame_].latch.Validate(stamp_);
+}
+
 void PageHandle::MarkDirty(Lsn page_lsn, Lsn rec_lsn) {
   Frame& f = pool_->frames_[frame_];
   page::HeaderOf(pool_->FrameData(frame_))->page_lsn = page_lsn.value;
@@ -251,6 +261,47 @@ Result<PageHandle> BufferPool::FixPage(PageNum page, sync::LatchMode mode) {
   return Status::Busy("buffer pool thrashing: no evictable frames");
 }
 
+Result<OptimisticPageHandle> BufferPool::FixOptimistic(PageNum page) {
+  if (page == kInvalidPageNum) {
+    return Status::InvalidArgument("cannot fix the invalid page");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int frame = table_->FindOptimistic(page);
+    if (frame >= 0) {
+      Frame& f = frames_[frame];
+      // Stamp first, then re-verify frame identity (the optimistic analog
+      // of AcquireVerified): if the frame was recycled between the lookup
+      // and the stamp, the page re-check below or — when the recycler is
+      // still mid-flight — the eventual Validate() catches it, because
+      // reuse holds the latch exclusive until the new image is published.
+      uint64_t stamp = f.latch.StampOptimistic();
+      if (stamp == sync::HybridLatch::kInvalidStamp) {
+        // Exclusively latched right now (writer, loader, or evictor). Spin
+        // a moment — leaf updates are short — then hand the conflict up as
+        // the restart signal.
+        sync::Backoff backoff;
+        for (int spin = 0; spin < 16; ++spin) {
+          backoff.Pause();
+          stamp = f.latch.StampOptimistic();
+          if (stamp != sync::HybridLatch::kInvalidStamp) break;
+        }
+        if (stamp == sync::HybridLatch::kInvalidStamp) {
+          return Status::Busy("page exclusively latched");
+        }
+      }
+      if (f.page.load(std::memory_order_acquire) != page) continue;
+      return OptimisticPageHandle(this, frame, page, stamp);
+    }
+    // Miss: bring the page in through the ordinary (pinned) miss path,
+    // drop the fix immediately and retry the optimistic probe — the
+    // mapping now exists, so the next lap stamps it.
+    SHOREMT_ASSIGN_OR_RETURN(PageHandle h,
+                             FixPage(page, sync::LatchMode::kShared));
+    h.Unfix();
+  }
+  return Status::Busy("optimistic fix: page stayed in flux");
+}
+
 Result<PageHandle> BufferPool::NewPage(PageNum page) {
   if (page == kInvalidPageNum) {
     return Status::InvalidArgument("cannot create the invalid page");
@@ -289,14 +340,14 @@ Result<PageHandle> BufferPool::NewPage(PageNum page) {
 Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
   SHOREMT_ASSIGN_OR_RETURN(int frame, AllocateFrame());
   Frame& f = frames_[frame];
-  // Publish: pin first so the frame is never observable evictable; take
-  // the latch before the mapping exists so no other thread can beat us to
-  // it.
+  // The frame arrives from AllocateFrame latched EXCLUSIVE (held since the
+  // claim). Publish: pin first so the frame is never observable evictable;
+  // the latch held across the disk read is what queues concurrent fixers
+  // and fails concurrent optimistic stamps.
   f.pins.store(1, std::memory_order_relaxed);
   f.dirty.store(false, std::memory_order_relaxed);
   f.rec_lsn.store(0, std::memory_order_relaxed);
   f.referenced.store(true, std::memory_order_relaxed);
-  f.latch.AcquireExclusive();
   f.page.store(page, std::memory_order_release);
   if (!table_->Insert(page, frame)) {
     // Another thread brought the page in first; yield our copy. fetch_sub
@@ -360,7 +411,11 @@ Result<int> BufferPool::HandleMiss(PageNum page, bool read_from_disk) {
 }
 
 Result<int> BufferPool::AllocateFrame() {
-  if (auto idx = free_frames_.Pop()) return static_cast<int>(*idx);
+  if (auto idx = free_frames_.Pop()) {
+    // Uncontended: free frames are unlatched (released before every Push).
+    frames_[*idx].latch.AcquireExclusive();
+    return static_cast<int>(*idx);
+  }
 
   const size_t n = frames_.size();
   const bool early_release = options_.release_clock_hand_early;
@@ -374,6 +429,16 @@ Result<int> BufferPool::AllocateFrame() {
     if (f.referenced.exchange(false, std::memory_order_acq_rel)) {
       continue;  // Second chance.
     }
+    // Take the frame latch exclusive BEFORE claiming the mapping, and keep
+    // it until the successor image is published (HandleMiss's read lands /
+    // FinishPrefetch installs). This is what makes optimistic readers
+    // safe against recycling: a reader that stamped this frame for its old
+    // occupant either observes the exclusive bit (invalid stamp) or fails
+    // Validate() on the version bump at release — it can never validate
+    // the half-overwritten successor bytes. TryAcquire, not Acquire: a
+    // latched frame (cleaner write-back, late fixer) is simply not a
+    // victim this lap.
+    if (!f.latch.TryAcquire(sync::LatchMode::kExclusive)) continue;
     // Candidate found. Shore-MT releases the hand before the (possibly
     // slow) eviction so other misses can search in parallel (§7.6).
     if (early_release) clock_lock_.unlock();
@@ -416,15 +481,19 @@ Result<int> BufferPool::AllocateFrame() {
         // Write-back failed: the mapping is gone; surface the error and
         // leave the frame free (its contents are still intact on failure
         // but the page image can be re-read from the log/volume).
+        f.latch.ReleaseExclusive();
         free_frames_.Push(static_cast<uint32_t>(h));
         return st;
       }
       f.page.store(kInvalidPageNum, std::memory_order_relaxed);
       f.dirty.store(false, std::memory_order_relaxed);
       f.rec_lsn.store(0, std::memory_order_relaxed);
+      // Still latched exclusive — the caller publishes the new image and
+      // releases (bumping the version past every stale optimistic stamp).
       return static_cast<int>(h);
     }
-    in_transit_.Remove(victim);  // Claim lost: nothing is in transit.
+    f.latch.ReleaseExclusive();  // Claim lost: the occupant stays.
+    in_transit_.Remove(victim);  // Nothing is in transit.
     if (early_release) clock_lock_.lock();
   }
   clock_lock_.unlock();
@@ -671,9 +740,11 @@ size_t BufferPool::PrefetchPages(std::span<const PageNum> pages) {
         io::IoOpKind::kRead, page, FrameData(frame),
         [this, frame](PageNum p, Status s) { FinishPrefetch(frame, p, s); });
     if (!st.ok()) {
-      // Slots exhausted: undo the claim and recycle the frame.
+      // Slots exhausted: undo the claim and recycle the frame (released
+      // first — free frames are unlatched by invariant).
       prefetch_inflight_.fetch_sub(1, std::memory_order_relaxed);
       in_transit_.Remove(page);
+      frames_[frame].latch.ReleaseExclusive();
       free_frames_.Push(static_cast<uint32_t>(frame));
       stats_.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -712,8 +783,8 @@ void BufferPool::FinishPrefetch(int frame, PageNum page, Status st) {
     }
   }
   if (st.ok()) {
-    // Publish unpinned and unlatched: the image is complete (this runs
-    // after the device call), so the first fixer pins an ordinary hit.
+    // Publish unpinned: the image is complete (this runs after the device
+    // call), so the first fixer pins an ordinary hit.
     f.pins.store(0, std::memory_order_relaxed);
     f.dirty.store(false, std::memory_order_relaxed);
     f.rec_lsn.store(0, std::memory_order_relaxed);
@@ -727,6 +798,11 @@ void BufferPool::FinishPrefetch(int frame, PageNum page, Status st) {
       f.page.store(kInvalidPageNum, std::memory_order_relaxed);
     }
   }
+  // Drop the exclusive hold taken at claim time (AllocateFrame); the
+  // version bump fails any optimistic stamp that straddled the device
+  // read into this frame. Released before the Push: free frames are
+  // unlatched by invariant.
+  f.latch.ReleaseExclusive();
   if (!installed) free_frames_.Push(static_cast<uint32_t>(frame));
   // Clear the claim LAST: waiters re-probe and now find the mapping.
   in_transit_.Remove(page);

@@ -150,6 +150,42 @@ class PageHandle {
   sync::LatchMode mode_ = sync::LatchMode::kShared;
 };
 
+/// Unlatched, unpinned, version-stamped view of a cached page — the
+/// optimistic guard state of the frame's HybridLatch surfaced as a handle.
+/// Obtained from BufferPool::FixOptimistic. The holder may READ the image
+/// at any time but must treat every byte as potentially torn until
+/// Validate() returns true; on false the reader restarts (typically from
+/// the B-tree root). The handle takes no pin, so it cannot prevent
+/// eviction — instead, eviction holds the frame latch exclusive from the
+/// claim until the successor image is published, so any read that
+/// overlapped a reuse fails validation. Copyable and trivially cheap.
+class OptimisticPageHandle {
+ public:
+  OptimisticPageHandle() = default;
+
+  bool valid() const { return pool_ != nullptr; }
+  /// The (unvalidated) page image. Reads must be performed with
+  /// torn-tolerant code paths (see SHOREMT_NO_SANITIZE_THREAD).
+  const uint8_t* data() const;
+  PageNum page() const { return page_; }
+
+  /// True iff every read since FixOptimistic observed a consistent image:
+  /// no exclusive latch holder overlapped and the frame version is
+  /// unchanged (so the frame still caches this page — reuse bumps it).
+  bool Validate() const;
+
+ private:
+  friend class BufferPool;
+  OptimisticPageHandle(BufferPool* pool, int frame, PageNum page,
+                       uint64_t stamp)
+      : pool_(pool), frame_(frame), page_(page), stamp_(stamp) {}
+
+  BufferPool* pool_ = nullptr;
+  int frame_ = -1;
+  PageNum page_ = kInvalidPageNum;
+  uint64_t stamp_ = 0;
+};
+
 /// The buffer pool manager (§2.2.1): presents the volume as if memory-
 /// resident, with CLOCK replacement, WAL-correct dirty write-back and the
 /// staged synchronization strategies of §6.2/§7.
@@ -180,6 +216,24 @@ class BufferPool {
   /// Fixes an existing page: pins it, fetching from the volume on a miss,
   /// and acquires its latch in `mode`.
   Result<PageHandle> FixPage(PageNum page, sync::LatchMode mode);
+
+  /// Optimistic fix: returns an unlatched, unpinned, version-stamped view
+  /// of `page` without writing ANY shared cache line (no pin RMW, no latch
+  /// word update — the §7 read-path collapse removed at its root). The
+  /// caller reads through the handle and calls Validate(); a false
+  /// validation means the image may be torn and the read must restart.
+  /// Frame identity is re-verified after stamping exactly like
+  /// AcquireVerified does on the pinned path, and eviction/reuse holds the
+  /// frame latch exclusive (bumping the version on release) so a stale
+  /// reader can never validate against a recycled frame.
+  ///
+  /// On a cache miss the page is brought in through the ordinary miss
+  /// machinery first (one latched fix, immediately released). Returns
+  /// Busy — the restart signal — when the frame stays exclusively latched
+  /// or in flux across the bounded retry window; callers downgrade to
+  /// FixPage after enough restarts so writers and pathological conflicts
+  /// still make progress.
+  Result<OptimisticPageHandle> FixOptimistic(PageNum page);
 
   /// Fixes a brand-new page (no read; the caller formats it). The page
   /// must not be cached or contain live data.
@@ -267,6 +321,7 @@ class BufferPool {
 
  private:
   friend class PageHandle;
+  friend class OptimisticPageHandle;
 
   /// Pin bookkeeping shared by hit paths. Returns false if the frame no
   /// longer holds `page` (caller retries).
@@ -280,7 +335,11 @@ class BufferPool {
   /// Miss path: allocate a frame, read (or skip for new pages), publish.
   Result<int> HandleMiss(PageNum page, bool read_from_disk);
   /// Finds a victim frame via CLOCK; returns a frame claimed for reuse
-  /// (already unmapped and written back).
+  /// (already unmapped and written back) with its latch held EXCLUSIVE.
+  /// The latch stays held from the claim until the frame's next image is
+  /// published (HandleMiss return / prefetch completion), so optimistic
+  /// readers that overlapped the reuse fail validation; every failure path
+  /// must release it before recycling the frame.
   Result<int> AllocateFrame();
   /// Writes frame's dirty image to the volume (log flushed first).
   Status WriteBack(int frame, PageNum page);

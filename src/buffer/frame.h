@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "common/types.h"
-#include "sync/rw_latch.h"
+#include "sync/hybrid_latch.h"
 
 namespace shoremt::buffer {
 
@@ -32,8 +32,14 @@ struct Frame {
   /// redo must start no later than the minimum rec_lsn over dirty frames).
   std::atomic<uint64_t> rec_lsn{0};
 
-  /// Protects the page image (§2.2.2 page latch).
-  sync::RwLatch latch;
+  /// Protects the page image (§2.2.2 page latch). Version-stamped: an
+  /// optimistic reader records latch.StampOptimistic() instead of pinning
+  /// or latching, reads the image latch-free, and trusts the bytes only if
+  /// latch.Validate(stamp) holds afterwards. Every exclusive release bumps
+  /// the version — page modification, eviction/reuse (the evictor holds
+  /// the latch exclusive from the claim until the successor image is
+  /// published) and prefetch install all invalidate stale stamps.
+  sync::HybridLatch latch;
 
   /// Lock-free conditional pin: increments the pin count only if it is
   /// already non-zero. Returns false if the frame was unpinned (caller

@@ -401,7 +401,10 @@ class CArrayLogBuffer : public LogBuffer {
   static constexpr uint64_t kMaxMembers = 63;
   static constexpr uint64_t kBaseError = ~0ull;
   static constexpr int kSlots = 4;
-  static constexpr int kGatherSpins = 64;
+  /// Adaptive gather-window bounds (spins a leader waits for joiners).
+  static constexpr int kGatherSpinsMin = 8;
+  static constexpr int kGatherSpinsInit = 64;
+  static constexpr int kGatherSpinsMax = 512;
 
   struct alignas(64) Slot {
     std::atomic<uint64_t> state{0};  ///< 0 = free.
@@ -471,8 +474,10 @@ class CArrayLogBuffer : public LogBuffer {
     // Gather window: colliders join while we spin briefly; close early
     // once the group is comfortably sized. Under the force-consolidation
     // hook the window yields instead, so joiners arrive even on a
-    // single-context host (where a pure spin gathers nobody).
-    for (int i = 0; i < kGatherSpins; ++i) {
+    // single-context host (where a pure spin gathers nobody). The budget
+    // is adaptive (see below).
+    const int window = gather_spins_.load(std::memory_order_relaxed);
+    for (int i = 0; i < window; ++i) {
       uint64_t st = s.state.load(std::memory_order_relaxed);
       if (MembersOf(st) >= 8 || (st & kSizeMask) >= capacity_ / 8) break;
       if (force_consolidation_) {
@@ -484,6 +489,29 @@ class CArrayLogBuffer : public LogBuffer {
     uint64_t st = s.state.exchange(kBusy, std::memory_order_acq_rel);
     uint64_t total = st & kSizeMask;
     uint64_t members = MembersOf(st);
+    // Adapt the window to observed collision pressure: a well-subscribed
+    // group means colliders arrive faster than the spin burns — widen so
+    // the next leader amortizes more of them into one claim CAS. A group
+    // nobody joined means the spin was pure added latency — narrow.
+    // Leaders are rare relative to appends (one per group), so these
+    // relaxed ops stay off the append fast path.
+    if (members >= 4) {
+      int widened = std::min(kGatherSpinsMax, window * 2);
+      if (widened != window) {
+        gather_spins_.store(widened, std::memory_order_relaxed);
+        stats_->carray_gather_widens.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (members == 1) {
+      int narrowed = std::max(kGatherSpinsMin, window / 2);
+      if (narrowed != window) {
+        gather_spins_.store(narrowed, std::memory_order_relaxed);
+        stats_->carray_gather_narrows.fetch_add(1,
+                                                std::memory_order_relaxed);
+      }
+    }
+    stats_->carray_gather_spins.store(
+        static_cast<uint64_t>(gather_spins_.load(std::memory_order_relaxed)),
+        std::memory_order_relaxed);
     // One CAS claims the whole group's extent.
     uint64_t start = head_.load(std::memory_order_relaxed);
     for (;;) {
@@ -640,6 +668,8 @@ class CArrayLogBuffer : public LogBuffer {
 
   LogStats* stats_;
   const bool force_consolidation_;  ///< Test hook; see LogOptions.
+  /// Adaptive gather-window spin budget, [kGatherSpinsMin, kGatherSpinsMax].
+  std::atomic<int> gather_spins_{kGatherSpinsInit};
   size_t capacity_ = 0;         ///< Power of two.
   std::vector<uint8_t> ring_;
   size_t region_size_ = 0;      ///< Power of two, divides capacity_.

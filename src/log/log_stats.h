@@ -67,6 +67,17 @@ struct LogStats {
   /// byte already durable and had to wait for in-flight copiers to
   /// publish more regions before the watermark could advance.
   alignas(64) std::atomic<uint64_t> carray_watermark_stalls{0};
+
+  // --- adaptive gather window (leader-only, cold relative to appends) -----
+
+  /// Times a leader widened the gather-spin budget (a well-subscribed
+  /// group closed: collision pressure is high, waiting longer pays).
+  std::atomic<uint64_t> carray_gather_widens{0};
+  /// Times a leader narrowed it (the window closed with no joiners:
+  /// spinning was pure latency).
+  std::atomic<uint64_t> carray_gather_narrows{0};
+  /// GAUGE: the current gather-spin budget.
+  std::atomic<uint64_t> carray_gather_spins{0};
 };
 
 }  // namespace shoremt::log

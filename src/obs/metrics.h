@@ -59,9 +59,18 @@ enum class Metric : uint32_t {
   kChecksumFailures,   ///< Page/log images that failed CRC verification.
   kPagesRepaired,      ///< Checksum-failed pages rebuilt from archive+log.
   kScrubPages,         ///< Pages verified by the background scrubber.
+  // --- B+Tree probes (src/btree) --------------------------------------------
+  // Routed through per-worker blocks (not BTreeStats) so the latch-free
+  // read path touches no shared cache line — the same §5 rule that moved
+  // the transaction counters here.
+  kBtreeFinds,              ///< Point lookups (Find calls).
+  kBtreeProbeLockSearches,  ///< §7.7 redundant per-probe lock checks.
+  kBtreeOptimisticDescents, ///< Descents completed without latching.
+  kBtreeRestarts,           ///< Validation failures that restarted a descent.
+  kBtreeLatchFallbacks,     ///< Descents that gave up and took latches.
 };
 
-inline constexpr size_t kMetricCount = 37;
+inline constexpr size_t kMetricCount = 42;
 
 /// Gauges report a level, not a monotone count: the profiling feed emits
 /// their raw value each tick instead of a delta, and keeps no high-water
@@ -109,6 +118,12 @@ constexpr std::string_view MetricName(Metric m) {
     case Metric::kChecksumFailures: return "checksum_failures";
     case Metric::kPagesRepaired: return "pages_repaired";
     case Metric::kScrubPages: return "scrub_pages";
+    case Metric::kBtreeFinds: return "btree_finds";
+    case Metric::kBtreeProbeLockSearches: return "btree_probe_lock_searches";
+    case Metric::kBtreeOptimisticDescents:
+      return "btree_optimistic_descents";
+    case Metric::kBtreeRestarts: return "btree_restarts";
+    case Metric::kBtreeLatchFallbacks: return "btree_latch_fallbacks";
   }
   return "?";
 }
@@ -163,6 +178,22 @@ class alignas(64) WorkerCounters {
   /// Slot state, owned by the registry (false = free).
   std::atomic<bool> used_{false};
 };
+
+/// The calling thread's registered counter block, or nullptr when the
+/// thread is not a session worker (daemons, tests without sessions).
+/// Session's constructor points this at the block it registered and its
+/// destructor clears it, so deep subsystems (the B+Tree probe path) can
+/// bump per-worker counters without threading a pointer through every
+/// call signature. Callers must null-check.
+inline WorkerCounters*& TlsWorkerCounters() {
+  static thread_local WorkerCounters* tls = nullptr;
+  return tls;
+}
+
+/// Null-safe single bump of the calling worker's counter.
+inline void TlsInc(Metric m, uint64_t delta = 1) {
+  if (WorkerCounters* wc = TlsWorkerCounters()) wc->Inc(m, delta);
+}
 
 /// Cross-worker latency totals at one instant; converts to a
 /// common::Histogram (same bucket boundaries) for quantile extraction.

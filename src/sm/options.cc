@@ -21,6 +21,7 @@ StorageOptions StorageOptions::ForStage(Stage stage) {
   o.lock.pool_kind = lock::RequestPoolKind::kMutexFreelist;
   o.txn.oldest_txn_cache = false;
   o.btree.probe_lock_table = true;
+  o.btree.optimistic_reads = false;  // Classic shared-latch crabbing.
   o.decoupled_checkpoint = false;
   if (stage == Stage::kBaseline) return o;
 
@@ -65,6 +66,10 @@ StorageOptions StorageOptions::ForStage(Stage stage) {
   // redundant B+Tree probe lock search removed.
   o.log.buffer_kind = log::LogBufferKind::kCArray;
   o.btree.probe_lock_table = false;
+  // One step past the paper (with the c-array): the index read path stops
+  // writing shared cache lines entirely — optimistic lock coupling over
+  // the version-stamped page latches.
+  o.btree.optimistic_reads = true;
   o.decoupled_checkpoint = true;
   return o;
 }

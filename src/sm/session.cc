@@ -20,12 +20,17 @@ Session::Session(StorageManager* sm, uint64_t seed) : sm_(sm), rng_(seed) {
   // Live metrics block: a free slot in the manager's registry (nullptr
   // when exhausted — the session runs unmetered, never fails to open).
   wc_ = sm_->metrics()->RegisterWorker();
+  // Publish the block thread-locally so deep subsystems (the B+Tree
+  // latch-free probe path) can bump worker counters without a shared RMW
+  // and without widening every call signature.
+  obs::TlsWorkerCounters() = wc_;
 }
 
 Session::~Session() {
   if (txn_ != nullptr) (void)Abort();
   (void)WaitAll();  // Outstanding async commits acknowledge before close.
   Harvest();
+  if (obs::TlsWorkerCounters() == wc_) obs::TlsWorkerCounters() = nullptr;
   if (wc_ != nullptr) {
     // Folds this worker's live counters into the registry's retired
     // accumulator — registry totals (and the profiling feed over them)
@@ -52,6 +57,11 @@ Status Session::Begin() {
     return Status::InvalidArgument("session already has an open transaction");
   }
   txn_ = sm_->txns_->Begin();
+  // Re-publish the counter block on the CALLING thread: sessions are
+  // routinely constructed on one thread (the opener) and driven from a
+  // worker, and the deep probe paths read this thread-local. Begin is
+  // the choke point every transaction passes through on its own thread.
+  obs::TlsWorkerCounters() = wc_;
   ++stats_.begins;
   Bump(obs::Metric::kTxnBegins);
   txn_begin_ns_ = NowNanos();

@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/btree_node.h"
+#include "buffer/buffer_pool.h"
+#include "io/volume.h"
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "obs/metrics.h"
+#include "space/space_manager.h"
+#include "sync/hybrid_latch.h"
+#include "txn/txn_manager.h"
+
+namespace shoremt {
+namespace {
+
+// ----------------------------------------------------------- HybridLatch --
+
+TEST(HybridLatchTest, ExclusiveReleaseBumpsVersionMonotonically) {
+  sync::HybridLatch l;
+  uint64_t prev = l.version();
+  for (int i = 0; i < 100; ++i) {
+    l.AcquireExclusive();
+    l.ReleaseExclusive();
+    uint64_t v = l.version();
+    EXPECT_GT(v, prev) << "version must advance on every exclusive release";
+    prev = v;
+  }
+}
+
+TEST(HybridLatchTest, StaleStampFailsAfterExclusive) {
+  sync::HybridLatch l;
+  uint64_t stamp = l.StampOptimistic();
+  ASSERT_NE(stamp, sync::HybridLatch::kInvalidStamp);
+  EXPECT_TRUE(l.Validate(stamp));
+  l.AcquireExclusive();
+  l.ReleaseExclusive();
+  EXPECT_FALSE(l.Validate(stamp)) << "exclusive release invalidates stamps";
+  uint64_t fresh = l.StampOptimistic();
+  EXPECT_TRUE(l.Validate(fresh));
+}
+
+TEST(HybridLatchTest, SharedHoldersDoNotInvalidateStamps) {
+  sync::HybridLatch l;
+  uint64_t stamp = l.StampOptimistic();
+  l.AcquireShared();
+  EXPECT_EQ(l.ReaderCount(), 1u);
+  // Readers don't modify: a stamp taken before (or during) a shared hold
+  // stays valid.
+  EXPECT_TRUE(l.Validate(stamp));
+  uint64_t during = l.StampOptimistic();
+  EXPECT_NE(during, sync::HybridLatch::kInvalidStamp);
+  l.ReleaseShared();
+  EXPECT_TRUE(l.Validate(stamp));
+  EXPECT_TRUE(l.Validate(during));
+}
+
+TEST(HybridLatchTest, StampWhileExclusiveHeldIsInvalid) {
+  sync::HybridLatch l;
+  l.AcquireExclusive();
+  EXPECT_EQ(l.StampOptimistic(), sync::HybridLatch::kInvalidStamp);
+  EXPECT_FALSE(l.Validate(sync::HybridLatch::kInvalidStamp));
+  l.ReleaseExclusive();
+  EXPECT_NE(l.StampOptimistic(), sync::HybridLatch::kInvalidStamp);
+}
+
+TEST(HybridLatchTest, ExclusiveExcludesSharedAndViceVersa) {
+  sync::HybridLatch l;
+  l.AcquireExclusive();
+  EXPECT_FALSE(l.TryAcquire(sync::LatchMode::kShared));
+  EXPECT_FALSE(l.TryAcquire(sync::LatchMode::kExclusive));
+  l.ReleaseExclusive();
+  l.AcquireShared();
+  EXPECT_FALSE(l.TryAcquire(sync::LatchMode::kExclusive));
+  EXPECT_TRUE(l.TryAcquire(sync::LatchMode::kShared));
+  l.ReleaseShared();
+  l.ReleaseShared();
+}
+
+TEST(HybridLatchTest, TryUpgradeOnlyForSoleReader) {
+  sync::HybridLatch l;
+  l.AcquireShared();
+  l.AcquireShared();
+  EXPECT_FALSE(l.TryUpgrade()) << "two readers: upgrade must fail";
+  l.ReleaseShared();
+  uint64_t stamp = l.StampOptimistic();
+  EXPECT_TRUE(l.TryUpgrade());
+  EXPECT_TRUE(l.IsHeldExclusive());
+  l.ReleaseExclusive();
+  EXPECT_FALSE(l.Validate(stamp)) << "upgrade-then-release bumps version";
+}
+
+TEST(HybridLatchTest, DowngradeBumpsVersionAndKeepsSharedHold) {
+  sync::HybridLatch l;
+  uint64_t stamp = l.StampOptimistic();
+  l.AcquireExclusive();
+  l.Downgrade();
+  EXPECT_EQ(l.ReaderCount(), 1u);
+  EXPECT_FALSE(l.Validate(stamp))
+      << "the exclusive holder may have written before downgrading";
+  EXPECT_FALSE(l.TryAcquire(sync::LatchMode::kExclusive));
+  l.ReleaseShared();
+}
+
+// The seqlock protocol itself: a writer keeps a two-word invariant under
+// the exclusive latch while readers snapshot the words optimistically. A
+// validated snapshot must NEVER observe the invariant broken — that is
+// the exact property the B+Tree descent trusts. The racy loads are
+// deliberate and uninstrumented (SHOREMT_NO_SANITIZE_THREAD).
+struct GuardedPair {
+  sync::HybridLatch latch;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+SHOREMT_NO_SANITIZE_THREAD
+void OptimisticReadPair(const GuardedPair& p, uint64_t* a, uint64_t* b) {
+  *a = p.a;
+  *b = p.b;
+}
+
+TEST(HybridLatchTest, ValidatedReadsNeverObserveTornPair) {
+  GuardedPair p;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> validated{0};
+
+  // The writer runs until the readers are done: the readers drive the
+  // loop (each must land a quota of VALIDATED snapshots), so the test
+  // cannot degenerate into zero overlap on a single-CPU host.
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      p.latch.AcquireExclusive();
+      // Break the invariant mid-critical-section on purpose.
+      p.a += 1;
+      p.b += 1;
+      p.latch.ReleaseExclusive();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      uint64_t local = 0;
+      while (local < 2000) {
+        uint64_t stamp = p.latch.StampOptimistic();
+        if (stamp == sync::HybridLatch::kInvalidStamp) {
+          std::this_thread::yield();  // Let the parked writer release.
+          continue;
+        }
+        uint64_t a, b;
+        OptimisticReadPair(p, &a, &b);
+        if (p.latch.Validate(stamp)) {
+          ASSERT_EQ(a, b) << "validated snapshot saw a torn write";
+          ++local;
+        }
+      }
+      validated.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& r : readers) r.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GE(validated.load(), 4000u);
+}
+
+// ----------------------------------------------- Optimistic page handles --
+
+TEST(BufferOptimisticTest, ExclusiveWriteInvalidatesHandle) {
+  io::MemVolume volume;
+  ASSERT_TRUE(volume.Extend(kPagesPerExtent).ok());
+  buffer::BufferPoolOptions opts;
+  opts.frame_count = 16;
+  buffer::BufferPool pool(&volume, opts);
+  { auto h = pool.NewPage(3); ASSERT_TRUE(h.ok()); }
+
+  auto oh = pool.FixOptimistic(3);
+  ASSERT_TRUE(oh.ok());
+  EXPECT_TRUE(oh->Validate());
+  {
+    auto h = pool.FixPage(3, sync::LatchMode::kExclusive);
+    ASSERT_TRUE(h.ok());
+    EXPECT_FALSE(oh->Validate()) << "live exclusive holder must fail it";
+  }
+  EXPECT_FALSE(oh->Validate())
+      << "an exclusive fix-release must invalidate older stamps";
+  auto fresh = pool.FixOptimistic(3);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Validate());
+}
+
+TEST(BufferOptimisticTest, FrameReuseInvalidatesHandle) {
+  io::MemVolume volume;
+  // Enough extents that every page the test touches is readable from the
+  // volume (clean evictions never write back, so re-fixing past the
+  // volume end would be an I/O error, not an eviction).
+  ASSERT_TRUE(volume.Extend(5 * kPagesPerExtent).ok());
+  buffer::BufferPoolOptions opts;
+  opts.frame_count = 8;  // Tiny pool: touching 32 pages recycles every frame.
+  buffer::BufferPool pool(&volume, opts);
+  for (PageNum p = 1; p <= 32; ++p) {
+    auto h = pool.NewPage(p);
+    ASSERT_TRUE(h.ok());
+  }
+  auto oh = pool.FixOptimistic(2);
+  ASSERT_TRUE(oh.ok());
+  // Cycle the pool until page 2's frame has been reused for other pages.
+  for (int lap = 0; lap < 2; ++lap) {
+    for (PageNum p = 1; p <= 32; ++p) {
+      auto h = pool.FixPage(p, sync::LatchMode::kShared);
+      ASSERT_TRUE(h.ok()) << "lap " << lap << " page " << p << ": "
+                          << h.status().ToString();
+    }
+  }
+  EXPECT_FALSE(oh->Validate())
+      << "frame recycling must bump the version a stale reader stamped";
+}
+
+// ------------------------------------------------------------ BTree OLC --
+
+constexpr StoreId kStore = 7;
+
+RecordId RidFor(uint64_t key) {
+  return RecordId{key + 1, static_cast<uint16_t>(key & 0x7fff)};
+}
+
+/// Full component stack (final-stage options) for direct B+Tree testing.
+class OlcHarness {
+ public:
+  explicit OlcHarness(btree::BTreeOptions tree_opts = {})
+      : log_(&log_storage_, log::LogOptions{}),
+        pool_(&volume_, MakePoolOptions(),
+              [this](Lsn lsn) { return log_.FlushTo(lsn); }),
+        space_(&volume_, space::SpaceOptions{}),
+        locks_(lock::LockOptions{}),
+        txns_(&log_, &locks_, txn::TxnOptions{}) {
+    EXPECT_TRUE(volume_.Extend(kPagesPerExtent).ok());
+    EXPECT_TRUE(space_.CreateStore(kStore).ok());
+    auto* txn = txns_.Begin();
+    auto root = btree::BTree::CreateRoot(&pool_, &space_, &log_, &txns_, txn,
+                                         kStore);
+    EXPECT_TRUE(root.ok());
+    EXPECT_TRUE(txns_.Commit(txn).ok());
+    tree_ = std::make_unique<btree::BTree>(&pool_, &space_, &log_, &txns_,
+                                           kStore, *root, tree_opts);
+  }
+
+  static buffer::BufferPoolOptions MakePoolOptions() {
+    buffer::BufferPoolOptions o;
+    o.frame_count = 256;
+    return o;
+  }
+
+  void Insert(uint64_t key) {
+    auto* txn = txns_.Begin();
+    ASSERT_TRUE(tree_->Insert(txn, key, RidFor(key)).ok());
+    ASSERT_TRUE(txns_.Commit(txn).ok());
+  }
+
+  btree::BTree& tree() { return *tree_; }
+
+  io::MemVolume volume_;
+  log::LogStorage log_storage_;
+  log::LogManager log_;
+  buffer::BufferPool pool_;
+  space::SpaceManager space_;
+  lock::LockManager locks_;
+  txn::TxnManager txns_;
+  std::unique_ptr<btree::BTree> tree_;
+};
+
+// Readers hammer validated point lookups while writers drive leaf and
+// root splits through the same keyspace. Every validated answer must be
+// exact: the correct rid for present keys (a torn entry would break the
+// key↔rid correspondence), never a phantom, never a miss of a key that
+// was present before the hammer started.
+TEST(BTreeOlcTest, ReadersVsSplittersHammer) {
+  OlcHarness h;
+  constexpr uint64_t kPre = 2000;     // Resident before the hammer.
+  constexpr uint64_t kExtra = 3000;   // Inserted during it (splits!).
+  for (uint64_t k = 0; k < kPre; ++k) h.Insert(k * 2);  // Even keys.
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  obs::WorkerCounters reader_wc;
+
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kExtra; ++i) {
+      uint64_t key = 2 * kPre + i;  // Disjoint from the readers' keyspace.
+      auto* txn = h.txns_.Begin();
+      ASSERT_TRUE(h.tree().Insert(txn, key, RidFor(key)).ok());
+      ASSERT_TRUE(h.txns_.Commit(txn).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      if (t == 0) obs::TlsWorkerCounters() = &reader_wc;
+      uint64_t iters = 0;
+      uint64_t rng = 0x9e3779b97f4a7c15ull + t;
+      while (!done.load(std::memory_order_acquire) || iters < 1000) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t key = ((rng >> 33) % kPre) * 2;
+        auto rid = h.tree().Find(nullptr, key);
+        ASSERT_TRUE(rid.ok()) << "pre-inserted key vanished: " << key;
+        ASSERT_EQ(rid->page, RidFor(key).page) << "torn value for " << key;
+        ASSERT_EQ(rid->slot, RidFor(key).slot) << "torn value for " << key;
+        // Odd keys are never inserted: a validated phantom is a bug.
+        auto absent = h.tree().Find(nullptr, key + 1);
+        ASSERT_FALSE(absent.ok());
+        ++iters;
+      }
+      if (t == 0) obs::TlsWorkerCounters() = nullptr;
+      reads.fetch_add(iters, std::memory_order_relaxed);
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+
+  EXPECT_GE(reads.load(), 2000u);
+  EXPECT_GT(reader_wc.Value(obs::Metric::kBtreeOptimisticDescents), 0u)
+      << "the optimistic path never ran";
+  // No lost/duplicate keys after the dust settles.
+  auto n = h.tree().CountEntries();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kPre + kExtra);
+  for (uint64_t k = 0; k < kPre; ++k) {
+    auto rid = h.tree().Find(nullptr, k * 2);
+    ASSERT_TRUE(rid.ok());
+  }
+}
+
+// An iterator scanning the whole keyspace while splits migrate entries
+// rightward must observe strictly increasing keys (never a duplicate)
+// and every key that existed for the whole scan (never a loss).
+TEST(BTreeOlcTest, IteratorVsConcurrentSplits) {
+  OlcHarness h;
+  constexpr uint64_t kPre = 1500;
+  for (uint64_t k = 0; k < kPre; ++k) h.Insert(k * 2);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < 2000; ++i) {
+      uint64_t key = 2 * i + 1;  // Odd keys interleave into every leaf.
+      auto* txn = h.txns_.Begin();
+      ASSERT_TRUE(h.tree().Insert(txn, key, RidFor(key)).ok());
+      ASSERT_TRUE(h.txns_.Commit(txn).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  uint64_t scans = 0;
+  do {
+    btree::BTree::Iterator it(&h.tree());
+    ASSERT_TRUE(it.Seek(0).ok());
+    uint64_t prev_key = UINT64_MAX;  // Sentinel: no previous key yet.
+    uint64_t evens_seen = 0;
+    while (it.Valid()) {
+      uint64_t key = it.key();
+      if (prev_key != UINT64_MAX) {
+        ASSERT_GT(key, prev_key) << "duplicate or out-of-order key";
+      }
+      RecordId rid = it.record();
+      ASSERT_EQ(rid.page, RidFor(key).page) << "torn entry for " << key;
+      ASSERT_EQ(rid.slot, RidFor(key).slot) << "torn entry for " << key;
+      if ((key & 1) == 0 && key < 2 * kPre) ++evens_seen;
+      prev_key = key;
+      ASSERT_TRUE(it.Next().ok());
+    }
+    ASSERT_EQ(evens_seen, kPre) << "scan lost a pre-existing key";
+    ++scans;
+  } while (!done.load(std::memory_order_acquire));
+  writer.join();
+  EXPECT_GE(scans, 1u);
+}
+
+// With a zero restart budget and a writer camped on the root's exclusive
+// latch, the descent must fall back to the latched path (and still return
+// the right answer once the writer releases).
+TEST(BTreeOlcTest, ForcedRestartFallsBackToLatches) {
+  btree::BTreeOptions opts;
+  opts.optimistic_reads = true;
+  opts.optimistic_restart_limit = 0;
+  OlcHarness h(opts);
+  for (uint64_t k = 0; k < 100; ++k) h.Insert(k);
+
+  // Camp on the root exclusively from another thread long enough that the
+  // single optimistic attempt exhausts its stamp spin and returns Busy.
+  std::atomic<bool> holding{false};
+  std::thread camper([&] {
+    auto ph = h.pool_.FixPage(h.tree().root(), sync::LatchMode::kExclusive);
+    ASSERT_TRUE(ph.ok());
+    holding.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  while (!holding.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  obs::WorkerCounters wc;
+  obs::TlsWorkerCounters() = &wc;
+  auto rid = h.tree().Find(nullptr, 42);  // Blocks on the fallback latch.
+  obs::TlsWorkerCounters() = nullptr;
+  camper.join();
+
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(rid->page, RidFor(42).page);
+  EXPECT_GE(wc.Value(obs::Metric::kBtreeLatchFallbacks), 1u)
+      << "exhausted restart budget must fall back to latches";
+}
+
+// The knob off = the classic crab, end to end (the ablation baseline).
+TEST(BTreeOlcTest, LatchedModeStillCorrect) {
+  btree::BTreeOptions opts;
+  opts.optimistic_reads = false;
+  OlcHarness h(opts);
+  for (uint64_t k = 0; k < 1200; ++k) h.Insert(k * 3);
+  obs::WorkerCounters wc;
+  obs::TlsWorkerCounters() = &wc;
+  for (uint64_t k = 0; k < 1200; ++k) {
+    auto rid = h.tree().Find(nullptr, k * 3);
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(rid->page, RidFor(k * 3).page);
+    EXPECT_FALSE(h.tree().Find(nullptr, k * 3 + 1).ok());
+  }
+  obs::TlsWorkerCounters() = nullptr;
+  EXPECT_EQ(wc.Value(obs::Metric::kBtreeOptimisticDescents), 0u);
+  EXPECT_EQ(wc.Value(obs::Metric::kBtreeLatchFallbacks), 0u);
+  EXPECT_EQ(wc.Value(obs::Metric::kBtreeFinds), 2400u);
+}
+
+}  // namespace
+}  // namespace shoremt

@@ -454,6 +454,34 @@ TEST(LogBufferStressTest, ForcedConsolidationGroupsStayIntact) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(next_seq[t], kPerThread);
 }
 
+/// Adaptive gather window: a solo producer under forced consolidation
+/// leads every group alone (members == 1), so each close signals that
+/// spinning for joiners was pure latency and the leader must halve the
+/// spin budget toward its floor. The narrow counter plus the gauge
+/// sitting below the initial budget prove the adaptation actually
+/// engaged rather than the window idling at its compile-time default.
+TEST(LogBufferStressTest, ForcedConsolidationSoloNarrowsGatherWindow) {
+  LogStorage storage;
+  LogOptions opts;
+  opts.buffer_kind = LogBufferKind::kCArray;
+  opts.buffer_capacity = 1 << 14;
+  opts.carray_force_consolidation = true;
+  LogManager mgr(&storage, opts);
+  for (int i = 0; i < 64; ++i) {
+    LogRecord rec = MakeUpdate(1, static_cast<PageNum>(i), 0, {},
+                               StressPayload(1, i));
+    ASSERT_TRUE(mgr.Append(rec).ok());
+  }
+  ASSERT_TRUE(mgr.FlushAll().ok());
+  const LogStats& s = mgr.stats();
+  EXPECT_GT(s.carray_gather_narrows.load(), 0u)
+      << "solo-led groups never narrowed the gather window";
+  EXPECT_LT(s.carray_gather_spins.load(), 64u)
+      << "gauge still at the initial spin budget: adaptation never engaged";
+  EXPECT_GE(s.carray_gather_spins.load(), 8u)
+      << "gauge fell through the floor";
+}
+
 /// Ring-full appends against a dead log device must surface the flush
 /// error to every producer — nobody may hang waiting for space (or, in a
 /// consolidation group, for a leader whose claim can never succeed).
